@@ -1,0 +1,37 @@
+# Convenience targets for the DAOS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex; done
+
+# One figure/table at a time, e.g. `make fig7`.
+fig%:
+	$(PYTHON) -m pytest benchmarks/bench_fig$*_*.py --benchmark-only -s
+
+table%:
+	$(PYTHON) -m pytest benchmarks/bench_table$*_*.py --benchmark-only -s
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

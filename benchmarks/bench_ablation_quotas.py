@@ -1,0 +1,97 @@
+"""Ablation — scheme quotas bound the cost of an untuned scheme.
+
+Quotas are the upstream extension of the paper's engine: cap how many
+bytes a scheme may operate on per interval, spending the budget on the
+best-priority (coldest/oldest, for PAGEOUT) regions first.  On a
+thrashing-prone workload, an aggressive reclamation scheme with a tight
+quota must hurt much less than the unrestricted scheme while keeping a
+useful share of the savings.
+"""
+
+from repro.analysis.ascii_plot import ascii_table
+from repro.runner.configs import ExperimentConfig
+from repro.runner.experiment import run_experiment
+from repro.runner.results import normalize
+from repro.schemes.quotas import Quota
+from repro.units import MIB, SEC
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.patterns import ColdInit, CyclicSweep, Hotspot
+
+
+def thrash_prone_spec():
+    return WorkloadSpec(
+        name="quota_ablation",
+        suite="test",
+        footprint=512 * MIB,
+        duration_us=60 * SEC,
+        components=(
+            ColdInit(offset=0, size=192 * MIB, init_us=3 * SEC),
+            CyclicSweep(
+                offset=192 * MIB,
+                size=256 * MIB,
+                period_us=10 * SEC,
+                active_share=0.4,
+                touches_per_sec=600,
+                stall_boost=4.0,
+            ),
+            Hotspot(offset=448 * MIB, size=64 * MIB, touches_per_sec=2000),
+        ),
+        compute_share=0.55,
+        mem_share=0.4,
+    )
+
+
+def run_with_quota(spec, quota_mb_per_s, seed=0):
+    quota = (
+        None
+        if quota_mb_per_s is None
+        else Quota(size_bytes=quota_mb_per_s * MIB, reset_interval_us=1 * SEC)
+    )
+    config = ExperimentConfig(
+        name=f"prcl-q{quota_mb_per_s}",
+        monitor="vaddr",
+        schemes_text="4K max min min 1s max pageout\n",
+        quota=quota,
+    )
+    return run_experiment(spec, config=config, seed=seed)
+
+
+def test_ablation_quota_bounds_cost(benchmark, report):
+    spec = thrash_prone_spec()
+    results = {}
+
+    def run_all():
+        results["baseline"] = run_experiment(spec, config="baseline", seed=0)
+        results["no quota"] = run_with_quota(spec, None)
+        results["64 MiB/s"] = run_with_quota(spec, 64)
+        results["16 MiB/s"] = run_with_quota(spec, 16)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    normalized = {}
+    for label in ("no quota", "64 MiB/s", "16 MiB/s"):
+        n = normalize(results[label], results["baseline"])
+        normalized[label] = n
+        rows.append(
+            (
+                label,
+                round(n.performance, 3),
+                round(n.memory_saving * 100, 1),
+                round(n.slowdown * 100, 1),
+            )
+        )
+    report.add("Ablation: PAGEOUT quota on an aggressive (1s min_age) scheme")
+    report.add(ascii_table(["quota", "performance", "saving %", "slowdown %"], rows))
+
+    # Tighter quota -> monotonically less slowdown...
+    assert (
+        normalized["16 MiB/s"].slowdown
+        <= normalized["64 MiB/s"].slowdown
+        <= normalized["no quota"].slowdown
+    )
+    # ...a real reduction vs unrestricted (roughly halved)...
+    assert normalized["16 MiB/s"].slowdown < 0.6 * normalized["no quota"].slowdown
+    # ...while still saving something.
+    assert normalized["16 MiB/s"].memory_saving > 0.05

@@ -1,0 +1,77 @@
+"""Figure 5 — the trend estimation for parsec3/raytrace.
+
+With a 10-sample budget the tuner collects 60% of samples globally,
+40% near the best point, fits a polynomial of degree nr_samples/3 and
+picks the highest peak by its gradient.  This benchmark runs the exact
+procedure, also sweeps the full ``Measured`` line for comparison, and
+checks the estimated optimum lands near the measured one (the paper
+finds 16 s against a noisy measured peak around the same spot).
+"""
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.runner.configs import prcl_config
+from repro.runner.experiment import run_experiment
+from repro.tuning.runtime import AutoTuner
+from repro.tuning.score import default_score_function
+from repro.units import SEC
+from repro.workloads.registry import get_workload
+
+from conftest import FULL, effective_scale
+
+WORKLOAD = "parsec3/raytrace"
+RANGE_S = (0.0, 60.0)
+
+
+def test_fig5_trend_estimation(benchmark, report):
+    spec = get_workload(WORKLOAD)
+    scale = effective_scale(spec, min_duration_s=75.0)
+    base = run_experiment(spec, config="baseline", seed=0, time_scale=scale)
+
+    def evaluate(min_age_s):
+        run = run_experiment(
+            spec, config=prcl_config(int(min_age_s * SEC)), seed=0, time_scale=scale
+        )
+        return run.runtime_us, run.avg_rss_bytes
+
+    def tune():
+        tuner = AutoTuner(
+            evaluate, (base.runtime_us, base.avg_rss_bytes), *RANGE_S, seed=7
+        )
+        return tuner.tune(nr_samples=10)
+
+    result = benchmark.pedantic(tune, rounds=1, iterations=1)
+
+    # The "Measured" line: a coarse full sweep for comparison.
+    measured_ages = list(range(0, 61, 4 if FULL else 6))
+    measured = []
+    for age in measured_ages:
+        runtime, rss = evaluate(float(age))
+        fn = default_score_function()
+        measured.append(fn(runtime, rss, base.runtime_us, base.avg_rss_bytes))
+
+    grid_x, grid_y = result.trend.grid(61)
+    report.add(f"Figure 5: trend estimation for {WORKLOAD}")
+    report.add(
+        ascii_series(
+            measured_ages,
+            measured,
+            width=60,
+            height=14,
+            title="Measured (*) vs Estimated (.)",
+            overlay=(list(grid_x), list(grid_y), "."),
+        )
+    )
+    report.add("")
+    report.add(f"60% global samples: {[round(p, 1) for p, _ in result.global_samples]}")
+    report.add(f"40% local samples : {[round(p, 1) for p, _ in result.local_samples]}")
+    report.add(f"estimated best min_age: {result.best_param:.1f}s "
+               f"(score {result.best_score:.2f})")
+    measured_best = measured_ages[max(range(len(measured)), key=measured.__getitem__)]
+    report.add(f"measured best min_age : {measured_best}s")
+
+    assert len(result.global_samples) == 6
+    assert len(result.local_samples) == 4
+    # The tuned optimum must land near the measured peak (paper: 16 s).
+    assert abs(result.best_param - measured_best) <= 10.0
+    # And must avoid the SLA-violating aggressive end.
+    assert result.best_param >= 8.0

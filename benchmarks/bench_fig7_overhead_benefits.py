@@ -1,0 +1,132 @@
+"""Figure 7 — normalized performance and memory efficiency of the 24
+workloads under rec, prec, thp, ethp and prcl on i3.metal, plus the §4.2
+monitoring-overhead numbers.
+
+This is the paper's central table.  Headline shapes asserted:
+
+* monitoring (rec/prec) costs ~1% on average, ≤ ~4% worst case, and the
+  two are similar despite prec's much larger target;
+* thp buys performance but bloats memory; ethp keeps a solid share of
+  the gain while removing most of the bloat (ocean_ncp is the showcase);
+* prcl trades slowdown for large memory savings, with freqmine-like
+  near-free savings and ocean_ncp-like severe worst cases.
+"""
+
+from repro.analysis.report import fig7_table
+from repro.runner.experiment import run_experiment
+from repro.runner.results import average_rows, normalize
+from repro.workloads.registry import all_workloads
+
+from conftest import FULL, effective_scale
+
+CONFIGS = ["rec", "prec", "thp", "ethp", "prcl"]
+MACHINE = "i3.metal"
+
+SUBSET = [
+    "parsec3/blackscholes",
+    "parsec3/canneal",
+    "parsec3/dedup",
+    "parsec3/freqmine",
+    "parsec3/raytrace",
+    "parsec3/swaptions",
+    "splash2x/fft",
+    "splash2x/lu_ncb",
+    "splash2x/ocean_cp",
+    "splash2x/ocean_ncp",
+    "splash2x/volrend",
+    "splash2x/water_nsquared",
+]
+
+
+def test_fig7_overhead_and_benefits(benchmark, report):
+    specs = all_workloads() if FULL else [
+        s for s in all_workloads() if s.full_name in SUBSET
+    ]
+    per_config = {config: [] for config in CONFIGS}
+    monitor_shares = {}
+
+    def run_matrix():
+        for spec in specs:
+            scale = effective_scale(spec)
+            base = run_experiment(
+                spec, config="baseline", machine=MACHINE, seed=0, time_scale=scale
+            )
+            for config in CONFIGS:
+                result = run_experiment(
+                    spec, config=config, machine=MACHINE, seed=0, time_scale=scale
+                )
+                per_config[config].append(normalize(result, base))
+                if config in ("rec", "prec"):
+                    monitor_shares[(spec.full_name, config)] = result.monitor_cpu_share
+        return per_config
+
+    benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    report.add(f"Figure 7: normalized performance / memory efficiency on {MACHINE}")
+    report.add(f"({len(specs)} workloads; REPRO_BENCH_FULL=1 for all 24)")
+    report.add("")
+    report.add(fig7_table(per_config, MACHINE))
+
+    averages = {c: average_rows(rows, c, MACHINE) for c, rows in per_config.items()}
+    rec_shares = [v for (w, c), v in monitor_shares.items() if c == "rec"]
+    prec_shares = [v for (w, c), v in monitor_shares.items() if c == "prec"]
+    report.add("")
+    report.add("Monitoring overhead (§4.2):")
+    report.add(
+        f"  rec : avg CPU {100 * sum(rec_shares) / len(rec_shares):.2f}%  "
+        f"avg perf {averages['rec'].performance:.3f}  "
+        f"worst perf {min(r.performance for r in per_config['rec']):.3f}"
+    )
+    report.add(
+        f"  prec: avg CPU {100 * sum(prec_shares) / len(prec_shares):.2f}%  "
+        f"avg perf {averages['prec'].performance:.3f}  "
+        f"worst perf {min(r.performance for r in per_config['prec']):.3f}"
+    )
+
+    # --- Conclusion-3: monitoring is cheap, rec ≈ prec --------------------
+    for config in ("rec", "prec"):
+        assert averages[config].performance > 0.97
+        assert min(r.performance for r in per_config[config]) > 0.94
+        assert all(abs(r.memory_efficiency - 1.0) < 0.02 for r in per_config[config])
+    assert sum(prec_shares) < 4 * sum(rec_shares) + 0.01
+
+    # --- thp vs ethp -------------------------------------------------------
+    by_name = {
+        config: {r.workload: r for r in rows} for config, rows in per_config.items()
+    }
+    assert averages["thp"].performance > 1.02  # THP helps on average
+    assert averages["thp"].memory_efficiency < 1.0  # ...and bloats
+    ocean = "splash2x/ocean_ncp"
+    thp_o, ethp_o = by_name["thp"][ocean], by_name["ethp"][ocean]
+    assert thp_o.performance > 1.2  # paper: +27.5%
+    assert thp_o.memory_efficiency < 0.65  # paper: -82% efficiency
+    gain_kept = (ethp_o.performance - 1.0) / (thp_o.performance - 1.0)
+    # Paper's definition: share of the *RSS overhead* (RSS above
+    # baseline) that ethp removes relative to thp.
+    thp_overhead = 1.0 / thp_o.memory_efficiency - 1.0
+    ethp_overhead = 1.0 / ethp_o.memory_efficiency - 1.0
+    bloat_removed = 1.0 - ethp_overhead / thp_overhead
+    report.add("")
+    report.add(
+        f"ocean_ncp: ethp preserves {gain_kept * 100:.0f}% of THP's gain, "
+        f"removes {bloat_removed * 100:.0f}% of its bloat "
+        f"(paper: 46% / 80%)"
+    )
+    assert gain_kept > 0.3
+    assert bloat_removed > 0.5
+
+    # --- prcl ---------------------------------------------------------------
+    freqmine = by_name["prcl"]["parsec3/freqmine"]
+    report.add(
+        f"freqmine: prcl saves {freqmine.memory_saving * 100:.0f}% memory at "
+        f"{freqmine.slowdown * 100:.1f}% slowdown (paper: 91% / 0.9%)"
+    )
+    assert freqmine.memory_saving > 0.7
+    assert freqmine.slowdown < 0.03
+    prcl_o = by_name["prcl"][ocean]
+    report.add(
+        f"ocean_ncp: prcl slows down {prcl_o.slowdown * 100:.0f}% for "
+        f"{prcl_o.memory_saving * 100:.0f}% saving (paper: 78% / 36%)"
+    )
+    assert prcl_o.slowdown > 0.15  # the severe worst case
+    assert averages["prcl"].memory_saving > 0.15

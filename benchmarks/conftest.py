@@ -1,0 +1,72 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rows/series to ``benchmarks/out/<name>.txt`` (also echoed to
+stdout, visible with ``pytest -s``).
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — time-scale factor applied to workload
+  durations (default 0.15; the paper's full runs are 1.0);
+* ``REPRO_BENCH_FULL=1`` — run the complete workload sets and parameter
+  grids instead of the representative defaults.
+
+Absolute numbers will not match the paper (the substrate is a
+simulator); the *shapes* — who wins, by what factor, where crossovers
+fall — are the reproduction target.  See EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Default time scale for workload durations.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+#: Full grids instead of representative subsets.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Minimum effective duration so scheme ages up to tens of seconds stay
+#: meaningful even under aggressive time scaling.
+MIN_DURATION_S = 30.0
+
+
+def effective_scale(spec, min_duration_s: float = MIN_DURATION_S) -> float:
+    """Per-workload time scale: global SCALE, floored so the run lasts
+    at least ``min_duration_s`` of virtual time."""
+    nominal_s = spec.duration_us / 1e6
+    if nominal_s <= min_duration_s:
+        return 1.0
+    return max(SCALE, min_duration_s / nominal_s)
+
+
+class BenchReport:
+    """Collects lines and writes them to benchmarks/out/<name>.txt."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+
+    def add(self, text: str = "") -> None:
+        for line in str(text).splitlines() or [""]:
+            self.lines.append(line)
+
+    def flush(self) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{self.name}.txt"
+        body = "\n".join(self.lines) + "\n"
+        path.write_text(body)
+        print(f"\n=== {self.name} (saved to {path}) ===")
+        print(body)
+
+
+@pytest.fixture
+def report(request):
+    rep = BenchReport(request.node.name)
+    yield rep
+    rep.flush()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Auto-tune a reclamation scheme for a workload (§3.5 / Figure 5).
+
+A fixed ``min_age`` threshold races every workload's re-touch period:
+too aggressive and sweep data thrashes in and out of swap; too gentle
+and the savings evaporate.  The auto-tuner finds the knee with ten
+samples: 60% spread over the range, 40% around the best one, a
+polynomial fit, and a gradient peak search.
+
+Run:  python examples/autotune_workload.py [workload]
+      python examples/autotune_workload.py splash2x/ocean_cp
+"""
+
+import sys
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.runner import normalize, run_experiment
+from repro.runner.experiment import autotune_scheme
+
+DEFAULT = "parsec3/raytrace"  # the paper's Figure 5 subject
+TIME_SCALE = 0.5
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else DEFAULT
+
+    print(f"auto-tuning the reclamation scheme for {workload} (10 samples) ...")
+    tuning, base, tuned = autotune_scheme(
+        workload,
+        nr_samples=10,
+        min_age_range_s=(0.0, 60.0),
+        seed=0,
+        time_scale=TIME_SCALE,
+    )
+
+    xs = [p for p, _ in tuning.samples]
+    ys = [s for _, s in tuning.samples]
+    grid_x, grid_y = tuning.trend.grid(60)
+    print(
+        ascii_series(
+            xs,
+            ys,
+            width=64,
+            height=14,
+            title="samples (*) and fitted trend (.)",
+            overlay=(list(grid_x), list(grid_y), "."),
+        )
+    )
+
+    manual = run_experiment(workload, config="prcl", time_scale=TIME_SCALE, seed=0)
+    n_manual = normalize(manual, base)
+    n_tuned = normalize(tuned, base)
+
+    print(f"\nbest min_age found : {tuning.best_param:.1f}s")
+    print(f"{'scheme':22s} {'slowdown':>9s} {'saving':>8s}")
+    print(f"{'manual (min_age=5s)':22s} {n_manual.slowdown * 100:8.1f}% "
+          f"{n_manual.memory_saving * 100:7.1f}%")
+    print(f"{'auto-tuned':22s} {n_tuned.slowdown * 100:8.1f}% "
+          f"{n_tuned.memory_saving * 100:7.1f}%")
+    print("\n(§4.3: auto-tuning removes ~90% of the manual scheme's slowdown "
+          "on average, at the cost of somewhat smaller savings)")
+
+
+if __name__ == "__main__":
+    main()

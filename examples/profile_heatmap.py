@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Profile a workload's access pattern and render its Figure 6 heatmap.
+
+Shows both monitoring primitives at work: the virtual-address primitive
+("rec" — VMAs + PTE accessed bits) and the physical-address primitive
+("prec" — rmap over the whole guest memory), plus a working-set-size
+estimate from the recorded snapshots.
+
+Run:  python examples/profile_heatmap.py [workload]
+      python examples/profile_heatmap.py splash2x/fft
+"""
+
+import sys
+
+from repro.analysis.heatmap import build_heatmap, render_heatmap
+from repro.analysis.wss import wss_from_snapshots
+from repro.runner import run_experiment
+from repro.units import format_size
+
+DEFAULT = "splash2x/fft"  # transpose phases make a striking heatmap
+TIME_SCALE = 0.3
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else DEFAULT
+
+    print(f"recording {workload} via the virtual-address primitive ...")
+    rec = run_experiment(workload, config="rec", time_scale=TIME_SCALE, seed=0)
+    heatmap = build_heatmap(rec.snapshots, time_bins=78, addr_bins=28)
+    print(render_heatmap(heatmap, title=f"{workload} (virtual address space)"))
+
+    print("\nworking-set size from the recorded snapshots (>= 5% frequency):")
+    wss = wss_from_snapshots(rec.snapshots, min_frequency=0.05)
+    for key in ("p25", "p50", "p75", "mean"):
+        print(f"  {key:>4s}: {format_size(int(wss[key]))}")
+
+    print("\nrecording the same run via the physical-address primitive ...")
+    prec = run_experiment(workload, config="prec", time_scale=TIME_SCALE, seed=0)
+    print(
+        f"  rec  monitor: {rec.monitor_checks:9d} checks, "
+        f"{rec.monitor_cpu_share * 100:.2f}% CPU"
+    )
+    print(
+        f"  prec monitor: {prec.monitor_checks:9d} checks, "
+        f"{prec.monitor_cpu_share * 100:.2f}% CPU "
+        f"(target is the whole guest DRAM — overhead stays bounded)"
+    )
+
+
+if __name__ == "__main__":
+    main()

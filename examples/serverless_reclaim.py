@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The production scenario (§4.4 / Figure 9): trimming serverless bloat.
+
+A serverless host's processes hold large runtime images that request
+handling never touches again — the paper measures a ~90% gap between
+resident and working sets.  A single hand-written scheme ("page out
+everything untouched for 30 seconds") recovers most of it; the choice
+of swap back-end decides how much *system* memory is really freed,
+because ZRAM keeps compressed copies in DRAM while file swap does not.
+
+Run:  python examples/serverless_reclaim.py
+"""
+
+from repro.runner import run_experiment
+from repro.runner.configs import prcl_config
+from repro.units import MIB, SEC
+from repro.workloads.serverless import serverless_spec
+
+SCHEME = prcl_config(30 * SEC)  # the paper's hand-crafted production scheme
+TIME_SCALE = 0.5
+
+
+def main() -> None:
+    spec = serverless_spec(footprint_mib=1024, cold_share=0.9, duration_s=300)
+    print(
+        f"serverless stand-in: {spec.footprint // MIB} MiB resident, "
+        f"~90% never re-touched after start-up\n"
+    )
+
+    print(f"{'swap backend':>12s} {'final system memory':>22s} {'reduction':>10s}")
+    for swap in ("none", "zram", "file"):
+        base = run_experiment(
+            spec, config="baseline", swap=swap, seed=0, time_scale=TIME_SCALE
+        )
+        run = run_experiment(
+            spec, config=SCHEME, swap=swap, seed=0, time_scale=TIME_SCALE
+        )
+        ratio = run.final_system_bytes / max(1.0, base.final_system_bytes)
+        bar = "#" * int(round(ratio * 40))
+        print(
+            f"{swap:>12s} {run.final_system_bytes / MIB:12.0f} MiB "
+            f"|{bar:<40s}| {100 * (1 - ratio):5.1f}%"
+        )
+    print(
+        "\nFigure 9's shape: no swap reclaims nothing, ZRAM frees most of "
+        "the bloat, file swap frees nearly all of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "DAOS: Data Access-aware Operating System" (HPDC '22).
+
+The package mirrors the paper's architecture (Figure 1):
+
+* :mod:`repro.monitor` — the Data Access Monitor: region-based sampling
+  with adaptive regions adjustment and aging (§3.1);
+* :mod:`repro.schemes` — the Memory Management Schemes Engine and the
+  Table 1 actions (§3.2);
+* :mod:`repro.tuning` — the auto-tuning runtime: score functions, 60/40
+  sampling, polynomial trend estimation, peak search (§3.3–3.5);
+* :mod:`repro.sim` — the simulated machine substrate standing in for the
+  Linux mm subsystem and the AWS EC2 test fleet;
+* :mod:`repro.workloads` — synthetic access-pattern models of the 24
+  Parsec3 / Splash-2x workloads and the production serverless system;
+* :mod:`repro.runner` — the six experiment configurations (baseline,
+  rec, prec, thp, ethp, prcl) and the experiment driver;
+* :mod:`repro.analysis` — heatmaps (Figure 6), working-set estimation,
+  and report tables.
+
+Quickstart::
+
+    from repro import quick_run
+
+    result = quick_run("parsec3/blackscholes", config="prcl")
+    print(result.runtime_us, result.avg_rss_bytes)
+"""
+
+from .monitor import DataAccessMonitor, MonitorAttrs, PhysicalPrimitive, VirtualPrimitive
+from .schemes import (
+    AccessPattern,
+    Action,
+    Scheme,
+    SchemesEngine,
+    parse_scheme,
+    parse_schemes,
+)
+from .sim import (
+    CostModel,
+    MachineSpec,
+    SimKernel,
+    ThpPolicy,
+    ZramDevice,
+    get_instance,
+    instance_catalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "Action",
+    "CostModel",
+    "DataAccessMonitor",
+    "MachineSpec",
+    "MonitorAttrs",
+    "PhysicalPrimitive",
+    "Scheme",
+    "SchemesEngine",
+    "SimKernel",
+    "ThpPolicy",
+    "VirtualPrimitive",
+    "ZramDevice",
+    "__version__",
+    "get_instance",
+    "instance_catalog",
+    "parse_scheme",
+    "parse_schemes",
+    "quick_run",
+]
+
+
+def quick_run(workload: str, *, config: str = "baseline", machine: str = "i3.metal", **kwargs):
+    """Run one (workload, configuration, machine) experiment and return
+    its :class:`~repro.runner.results.RunResult`.  Imported lazily so the
+    light core stays importable without the workload catalog."""
+    from .runner import run_experiment
+
+    return run_experiment(workload, config=config, machine=machine, **kwargs)

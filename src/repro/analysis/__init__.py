@@ -1,0 +1,26 @@
+"""Analysis and reporting: heatmaps (Figure 6), working-set estimation,
+ASCII plots and the normalised result tables the benchmarks print.
+"""
+
+from .ascii_plot import ascii_series, ascii_table
+from .heatmap import Heatmap, build_heatmap, render_heatmap
+from .patterns import PATTERN_NAMES, classify_score_pattern
+from .recording import heatmap_to_pgm, load_record, save_record
+from .report import fig7_table, format_normalized_rows
+from .wss import wss_from_snapshots
+
+__all__ = [
+    "Heatmap",
+    "PATTERN_NAMES",
+    "ascii_series",
+    "ascii_table",
+    "build_heatmap",
+    "classify_score_pattern",
+    "fig7_table",
+    "format_normalized_rows",
+    "heatmap_to_pgm",
+    "load_record",
+    "render_heatmap",
+    "save_record",
+    "wss_from_snapshots",
+]

@@ -1,0 +1,91 @@
+"""Score-curve pattern classification (paper §3.3, Figure 3).
+
+The paper argues the score-vs-aggressiveness relation falls into six
+patterns, which is what makes few-sample tuning feasible:
+
+1. monotonically increasing — memory efficiency dominates throughout;
+2. rises to an interior peak, falls, but ends above no-action;
+3. rises to an interior peak, falls below no-action (thrash);
+4. monotonically decreasing — performance dominates throughout;
+5. falls to an interior valley, recovers, ends below no-action;
+6. falls to an interior valley, recovers above no-action.
+
+``classify_score_pattern`` maps a measured (aggressiveness, score) series
+onto one of the six.  Scores are taken relative to the no-action score
+(the series value at zero aggressiveness).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["classify_score_pattern", "PATTERN_NAMES"]
+
+PATTERN_NAMES = {
+    1: "monotonic rise (efficiency dominates)",
+    2: "interior peak, ends above no-action",
+    3: "interior peak, ends below no-action",
+    4: "monotonic fall (performance dominates)",
+    5: "interior valley, ends below no-action",
+    6: "interior valley, ends above no-action",
+}
+
+
+def _smooth(values: np.ndarray, window: int = 5) -> np.ndarray:
+    if values.size < window:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.concatenate(
+        (np.repeat(values[0], window // 2), values, np.repeat(values[-1], window // 2))
+    )
+    return np.convolve(padded, kernel, mode="valid")[: values.size]
+
+
+def classify_score_pattern(
+    aggressiveness: Sequence[float], scores: Sequence[float]
+) -> Tuple[int, str]:
+    """Classify a score curve into one of the paper's six patterns.
+
+    ``aggressiveness`` must be increasing.  Returns ``(id, name)``.
+    """
+    x = np.asarray(aggressiveness, dtype=np.float64)
+    y = np.asarray(scores, dtype=np.float64)
+    if x.shape != y.shape or x.size < 4:
+        raise ConfigError("need at least 4 aligned samples to classify")
+    if not (np.diff(x) > 0).all():
+        raise ConfigError("aggressiveness values must be strictly increasing")
+
+    smooth = _smooth(y)
+    baseline = smooth[0]
+    rel = smooth - baseline
+    span = max(1e-12, np.abs(rel).max())
+    peak_idx = int(np.argmax(rel))
+    valley_idx = int(np.argmin(rel))
+    final = rel[-1]
+    peak = rel[peak_idx]
+    valley = rel[valley_idx]
+    interior = range(1, x.size - 1)
+    significant = 0.1 * span
+
+    has_interior_peak = peak_idx in interior and peak > significant and peak - final > significant
+    has_interior_valley = (
+        valley_idx in interior and valley < -significant and final - valley > significant
+    )
+
+    if has_interior_peak and not has_interior_valley:
+        return (2, PATTERN_NAMES[2]) if final >= 0 else (3, PATTERN_NAMES[3])
+    if has_interior_valley and not has_interior_peak:
+        return (5, PATTERN_NAMES[5]) if final < 0 else (6, PATTERN_NAMES[6])
+    if has_interior_peak and has_interior_valley:
+        # Mixed curve: decide by which extremum is more pronounced.
+        if peak >= -valley:
+            return (2, PATTERN_NAMES[2]) if final >= 0 else (3, PATTERN_NAMES[3])
+        return (5, PATTERN_NAMES[5]) if final < 0 else (6, PATTERN_NAMES[6])
+    # No significant interior extremum: monotonic trend.
+    if final >= 0:
+        return 1, PATTERN_NAMES[1]
+    return 4, PATTERN_NAMES[4]

@@ -1,0 +1,125 @@
+"""Persistent monitoring records (the userspace tooling's file format).
+
+The upstream tooling records monitoring results to a file and generates
+reports (heatmaps, WSS distributions) from it offline.  This module
+provides the equivalent: serialise recorded snapshots to a compact JSON
+document, load them back, and export heatmaps as portable graymap (PGM)
+images — all dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ConfigError, ParseError
+from ..monitor.snapshot import RegionSnapshot, Snapshot
+from .heatmap import Heatmap
+
+__all__ = ["save_record", "load_record", "heatmap_to_pgm"]
+
+#: Format marker so future revisions can evolve the layout.
+_FORMAT = "daos-record-v1"
+
+
+def save_record(
+    snapshots: Sequence[Snapshot],
+    path: Union[str, Path],
+    *,
+    workload: str = "",
+    machine: str = "",
+    extra: Optional[dict] = None,
+) -> Path:
+    """Write snapshots to ``path`` as a JSON record.
+
+    Regions are stored as flat ``[start, end, nr_accesses, age]`` rows to
+    keep multi-thousand-region records compact.
+    """
+    if not snapshots:
+        raise ConfigError("refusing to save an empty record")
+    document = {
+        "format": _FORMAT,
+        "workload": workload,
+        "machine": machine,
+        "extra": extra or {},
+        "max_nr_accesses": snapshots[0].max_nr_accesses,
+        "snapshots": [
+            {
+                "time_us": snap.time_us,
+                "regions": [
+                    [r.start, r.end, r.nr_accesses, r.age] for r in snap.regions
+                ],
+            }
+            for snap in snapshots
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, separators=(",", ":")))
+    return path
+
+
+def load_record(path: Union[str, Path]) -> List[Snapshot]:
+    """Load snapshots from a record written by :func:`save_record`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParseError(f"cannot read record {path}: {exc}") from None
+    if document.get("format") != _FORMAT:
+        raise ParseError(
+            f"{path} is not a {_FORMAT} record (format={document.get('format')!r})"
+        )
+    max_nr = int(document["max_nr_accesses"])
+    snapshots = []
+    for entry in document["snapshots"]:
+        regions = tuple(
+            RegionSnapshot(int(s), int(e), int(n), int(a))
+            for s, e, n, a in entry["regions"]
+        )
+        snapshots.append(
+            Snapshot(time_us=int(entry["time_us"]), regions=regions, max_nr_accesses=max_nr)
+        )
+    if not snapshots:
+        raise ParseError(f"{path} contains no snapshots")
+    return snapshots
+
+
+def record_metadata(path: Union[str, Path]) -> dict:
+    """Read only a record's metadata (workload, machine, extras)."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != _FORMAT:
+        raise ParseError(f"{path} is not a {_FORMAT} record")
+    return {
+        "workload": document.get("workload", ""),
+        "machine": document.get("machine", ""),
+        "extra": document.get("extra", {}),
+        "nr_snapshots": len(document.get("snapshots", [])),
+    }
+
+
+def heatmap_to_pgm(heatmap: Heatmap, path: Union[str, Path], *, scale: int = 4) -> Path:
+    """Export a heatmap as a binary PGM image (time → x, address → y,
+    intensity → gray level), viewable by any image tool.
+
+    ``scale`` enlarges each cell to ``scale × scale`` pixels.
+    """
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1: {scale}")
+    grid = heatmap.grid
+    peak = grid.max()
+    norm = grid / peak if peak > 0 else grid
+    width = heatmap.time_bins * scale
+    height = heatmap.addr_bins * scale
+    rows = bytearray()
+    for y in range(heatmap.addr_bins - 1, -1, -1):  # high addresses on top
+        row = bytearray()
+        for t in range(heatmap.time_bins):
+            level = int(round(norm[t, y] * 255))
+            row.extend([level] * scale)
+        for _ in range(scale):
+            rows.extend(row)
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    path = Path(path)
+    path.write_bytes(header + bytes(rows))
+    return path

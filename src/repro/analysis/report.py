@@ -1,0 +1,74 @@
+"""Result-table formatting matching the paper's presentation.
+
+Figures 7 and 8 label workloads ``P/<name>`` and ``S/<name>`` and close
+with an ``average`` column; these helpers print the same rows from
+:class:`~repro.runner.results.NormalizedResult` lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigError
+from ..runner.results import NormalizedResult, average_rows
+from .ascii_plot import ascii_table
+
+__all__ = ["short_label", "format_normalized_rows", "fig7_table"]
+
+_SHORT = {"parsec3": "P", "splash2x": "S", "production": "prod"}
+
+
+def short_label(workload: str) -> str:
+    """``parsec3/freqmine`` → ``P/freqmine`` (Figure 7/8 labels)."""
+    if "/" not in workload:
+        return workload
+    suite, name = workload.split("/", 1)
+    return f"{_SHORT.get(suite, suite)}/{name}"
+
+
+def format_normalized_rows(rows: Sequence[NormalizedResult]) -> str:
+    """A plain table of normalised results."""
+    if not rows:
+        raise ConfigError("no rows to format")
+    return ascii_table(
+        ["workload", "config", "performance", "memory efficiency", "saving %", "slowdown %"],
+        [
+            (
+                short_label(r.workload),
+                r.config,
+                round(r.performance, 3),
+                round(r.memory_efficiency, 3),
+                round(r.memory_saving * 100, 2),
+                round(r.slowdown * 100, 2),
+            )
+            for r in rows
+        ],
+    )
+
+
+def fig7_table(per_config: Dict[str, List[NormalizedResult]], machine: str) -> str:
+    """The Figure 7 layout: one row per workload, one column pair per
+    configuration, plus the average row."""
+    if not per_config:
+        raise ConfigError("no configurations to tabulate")
+    configs = list(per_config)
+    workloads = [r.workload for r in per_config[configs[0]]]
+    for config, rows in per_config.items():
+        if [r.workload for r in rows] != workloads:
+            raise ConfigError(f"config {config!r} covers a different workload set")
+    headers = ["workload"]
+    for config in configs:
+        headers += [f"{config}:perf", f"{config}:memeff"]
+    body = []
+    for i, workload in enumerate(workloads):
+        row = [short_label(workload)]
+        for config in configs:
+            r = per_config[config][i]
+            row += [round(r.performance, 3), round(r.memory_efficiency, 3)]
+        body.append(row)
+    avg_row = ["average"]
+    for config in configs:
+        avg = average_rows(per_config[config], config, machine)
+        avg_row += [round(avg.performance, 3), round(avg.memory_efficiency, 3)]
+    body.append(avg_row)
+    return ascii_table(headers, body)

@@ -1,0 +1,261 @@
+"""``daos`` — the command-line face of the reproduction.
+
+Mirrors the upstream user-space tooling's verbs:
+
+* ``daos workloads``                     — list the workload catalog;
+* ``daos record <workload>``             — run under monitoring and print
+  the access-pattern heatmap (Figure 6 for one workload);
+* ``daos run <workload> -c <config>``    — run one configuration and
+  print raw + normalised metrics;
+* ``daos schemes <workload> -f FILE``    — run with a user scheme file
+  (Listing 1/3 format);
+* ``daos tune <workload>``               — auto-tune the reclamation
+  scheme and report the chosen ``min_age`` (Figure 5 for one workload);
+* ``daos wss <workload>``                — working-set-size estimate.
+
+Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.ascii_plot import ascii_series
+from .analysis.heatmap import build_heatmap, render_heatmap
+from .analysis.recording import heatmap_to_pgm, load_record, record_metadata, save_record
+from .analysis.report import format_normalized_rows
+from .analysis.wss import wss_from_snapshots
+from .errors import DaosError
+from .runner.configs import CONFIGS, ExperimentConfig
+from .runner.experiment import autotune_scheme, run_experiment
+from .runner.results import normalize
+from .units import MIB, format_size
+from .workloads.registry import all_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="daos",
+        description="Data access-aware memory management (HPDC '22 reproduction)",
+    )
+    parser.add_argument("--machine", default="i3.metal", help="instance type (Table 2)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.25,
+        help="scale workload durations (1.0 = the paper's full runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload catalog")
+
+    p_record = sub.add_parser("record", help="monitor a workload; print its heatmap")
+    p_record.add_argument("workload")
+    p_record.add_argument("--paddr", action="store_true", help="monitor physical memory")
+    p_record.add_argument("-o", "--output", help="save the record to this file")
+
+    p_report = sub.add_parser("report", help="report on a saved record file")
+    p_report.add_argument("record", help="file written by 'record --output'")
+    p_report.add_argument("--pgm", help="also export the heatmap as a PGM image")
+    p_report.add_argument("--min-freq", type=float, default=0.05)
+
+    p_run = sub.add_parser("run", help="run one configuration")
+    p_run.add_argument("workload")
+    p_run.add_argument("-c", "--config", default="baseline", choices=sorted(CONFIGS))
+
+    p_schemes = sub.add_parser("schemes", help="run with a custom scheme file")
+    p_schemes.add_argument("workload")
+    p_schemes.add_argument("-f", "--file", required=True, help="scheme text file")
+
+    p_tune = sub.add_parser("tune", help="auto-tune the reclamation scheme")
+    p_tune.add_argument("workload")
+    p_tune.add_argument("-n", "--samples", type=int, default=10)
+
+    p_wss = sub.add_parser("wss", help="estimate the working set size")
+    p_wss.add_argument("workload")
+    p_wss.add_argument("--min-freq", type=float, default=0.05)
+    return parser
+
+
+def _cmd_workloads(args) -> int:
+    print(f"{'workload':28s} {'footprint':>10s} {'duration':>9s}")
+    for spec in all_workloads():
+        print(
+            f"{spec.full_name:28s} {format_size(spec.footprint):>10s} "
+            f"{spec.duration_us / 1e6:8.0f}s"
+        )
+    return 0
+
+
+def _cmd_record(args) -> int:
+    config = ExperimentConfig(
+        name="prec" if args.paddr else "rec",
+        monitor="paddr" if args.paddr else "vaddr",
+        record=True,
+    )
+    result = run_experiment(
+        args.workload,
+        config=config,
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    heatmap = build_heatmap(result.snapshots)
+    print(render_heatmap(heatmap, title=f"{args.workload} ({config.name})"))
+    print(
+        f"\nmonitor: {result.monitor_checks} checks, "
+        f"{result.monitor_cpu_share * 100:.2f}% of one CPU"
+    )
+    if args.output:
+        path = save_record(
+            result.snapshots,
+            args.output,
+            workload=args.workload,
+            machine=args.machine,
+            extra={"config": config.name, "seed": args.seed},
+        )
+        print(f"record saved to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    meta = record_metadata(args.record)
+    snapshots = load_record(args.record)
+    title = meta["workload"] or args.record
+    heatmap = build_heatmap(snapshots)
+    print(render_heatmap(heatmap, title=f"{title} (from record)"))
+    stats = wss_from_snapshots(snapshots, min_frequency=args.min_freq)
+    print(f"\nworking set (>= {args.min_freq:.0%} frequency):")
+    for key in ("p25", "p50", "p75", "mean"):
+        print(f"  {key:>4s}: {format_size(int(stats[key]))}")
+    if args.pgm:
+        path = heatmap_to_pgm(heatmap, args.pgm)
+        print(f"heatmap image written to {path}")
+    return 0
+
+
+def _print_run(result, baseline) -> None:
+    print(f"runtime      : {result.runtime_us / 1e6:.2f}s")
+    print(f"avg RSS      : {result.avg_rss_bytes / MIB:.1f} MiB")
+    print(f"peak RSS     : {result.peak_rss_bytes / MIB:.1f} MiB")
+    if result.monitor_checks:
+        print(f"monitor CPU  : {result.monitor_cpu_share * 100:.2f}%")
+    for name, stats in result.scheme_stats.items():
+        print(
+            f"scheme {name}: tried {stats['nr_tried']} regions "
+            f"({format_size(int(stats['sz_tried']))}), applied "
+            f"{stats['nr_applied']} ({format_size(int(stats['sz_applied']))})"
+        )
+    if baseline is not None:
+        print()
+        print(format_normalized_rows([normalize(result, baseline)]))
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(
+        args.workload,
+        config=args.config,
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    baseline = None
+    if args.config != "baseline":
+        baseline = run_experiment(
+            args.workload,
+            config="baseline",
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+        )
+    _print_run(result, baseline)
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    with open(args.file) as handle:
+        text = handle.read()
+    config = ExperimentConfig(name="custom", monitor="vaddr", schemes_text=text)
+    result = run_experiment(
+        args.workload,
+        config=config,
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    baseline = run_experiment(
+        args.workload,
+        config="baseline",
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    _print_run(result, baseline)
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    tuning, baseline, tuned = autotune_scheme(
+        args.workload,
+        machine=args.machine,
+        nr_samples=args.samples,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    xs = [p for p, _ in tuning.samples]
+    ys = [s for _, s in tuning.samples]
+    grid_x, grid_y = tuning.trend.grid(60)
+    print(
+        ascii_series(
+            xs,
+            ys,
+            title=f"{args.workload}: score vs min_age (samples *, fitted curve .)",
+            overlay=(list(grid_x), list(grid_y), "."),
+        )
+    )
+    print(f"\nbest min_age : {tuning.best_param:.1f}s (estimated score {tuning.best_score:.2f})")
+    print(format_normalized_rows([normalize(tuned, baseline)]))
+    return 0
+
+
+def _cmd_wss(args) -> int:
+    config = ExperimentConfig(name="rec", monitor="vaddr", record=True)
+    result = run_experiment(
+        args.workload,
+        config=config,
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    stats = wss_from_snapshots(result.snapshots, min_frequency=args.min_freq)
+    for key in ("p0", "p25", "p50", "p75", "p100", "mean"):
+        print(f"{key:>5s}: {format_size(int(stats[key]))}")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "record": _cmd_record,
+    "report": _cmd_report,
+    "run": _cmd_run,
+    "schemes": _cmd_schemes,
+    "tune": _cmd_tune,
+    "wss": _cmd_wss,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

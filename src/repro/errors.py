@@ -1,0 +1,39 @@
+"""Exception hierarchy for the DAOS reproduction.
+
+Every error raised by the library derives from :class:`DaosError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class DaosError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(DaosError, ValueError):
+    """A textual input (scheme line, size, time, percentage) was malformed."""
+
+
+class ConfigError(DaosError, ValueError):
+    """A configuration object carries inconsistent or out-of-range values."""
+
+
+class AddressSpaceError(DaosError):
+    """An operation referenced addresses outside any mapped VMA."""
+
+
+class MonitorStateError(DaosError, RuntimeError):
+    """A monitor operation was attempted in an invalid lifecycle state."""
+
+
+class SchemeError(DaosError):
+    """A memory-management scheme could not be validated or applied."""
+
+
+class TuningError(DaosError):
+    """The auto-tuning runtime could not complete (e.g. zero sample budget)."""
+
+
+class SwapFullError(DaosError):
+    """A page-out was requested but the swap device has no free slots."""

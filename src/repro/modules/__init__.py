@@ -1,0 +1,22 @@
+"""Turnkey management modules built on the monitor + schemes engine.
+
+The paper closes Table 1 with "we plan to support more actions in the
+future"; upstream, the system grew two self-contained kernel modules
+that package a monitor, a scheme, quotas and watermarks behind a handful
+of knobs:
+
+* :class:`~repro.modules.reclaim.ReclaimModule` (DAMON_RECLAIM) —
+  proactive reclamation of cold physical memory, activated only under
+  memory pressure;
+* :class:`~repro.modules.lru_sort.LruSortModule` (DAMON_LRU_SORT) —
+  proactive LRU-list sorting: hot regions to the active list's head,
+  cold regions to the inactive tail, correcting the baseline LRU's
+  scan-interval-coarse recency.
+
+Both are reproduced here as library objects over the simulated kernel.
+"""
+
+from .lru_sort import LruSortModule
+from .reclaim import ReclaimModule
+
+__all__ = ["LruSortModule", "ReclaimModule"]

@@ -1,0 +1,65 @@
+"""Monitoring attributes: intervals and region-count bounds.
+
+The five values the paper sets for every experiment (§4): sampling
+interval 5 ms, aggregation interval 100 ms, regions-update interval 1 s,
+and a region count kept within [10, 1000].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import MSEC, SEC
+
+__all__ = ["MonitorAttrs"]
+
+
+@dataclass(frozen=True)
+class MonitorAttrs:
+    """Configuration of one :class:`~repro.monitor.core.DataAccessMonitor`.
+
+    All intervals in microseconds of virtual time.
+    """
+
+    sampling_interval_us: int = 5 * MSEC
+    aggregation_interval_us: int = 100 * MSEC
+    regions_update_interval_us: int = 1 * SEC
+    min_nr_regions: int = 10
+    max_nr_regions: int = 1000
+    #: Also sample PTE dirty bits, giving regions an ``nr_writes``
+    #: counter.  Off by default — the paper's system does not
+    #: distinguish reads from writes (its stated future work, which this
+    #: flag implements).
+    track_writes: bool = False
+
+    def __post_init__(self):
+        if self.sampling_interval_us <= 0:
+            raise ConfigError("sampling interval must be positive")
+        if self.aggregation_interval_us < self.sampling_interval_us:
+            raise ConfigError(
+                "aggregation interval must be at least the sampling interval"
+            )
+        if self.aggregation_interval_us % self.sampling_interval_us:
+            raise ConfigError(
+                "aggregation interval must be a multiple of the sampling interval"
+            )
+        if self.regions_update_interval_us < self.aggregation_interval_us:
+            raise ConfigError(
+                "regions-update interval must be at least the aggregation interval"
+            )
+        if not 3 <= self.min_nr_regions <= self.max_nr_regions:
+            raise ConfigError(
+                "need 3 <= min_nr_regions <= max_nr_regions "
+                f"(got {self.min_nr_regions}, {self.max_nr_regions})"
+            )
+
+    @property
+    def max_nr_accesses(self) -> int:
+        """Largest possible per-region access count in one aggregation:
+        the number of sampling checks per aggregation interval."""
+        return self.aggregation_interval_us // self.sampling_interval_us
+
+    def age_intervals(self, age_us: int) -> int:
+        """Convert an age expressed as time into aggregation intervals."""
+        return age_us // self.aggregation_interval_us

@@ -1,0 +1,333 @@
+"""The monitoring core: a faithful port of the kdamond control loop.
+
+Per sampling interval the monitor checks one sample page per region
+(``check_accesses``) and immediately picks and clears the next sample
+page (``prepare_access_checks``).  Per aggregation interval it runs, in
+upstream order:
+
+1. **merge** adjacent regions with similar access counts — this pass
+   also applies the *aging* rule (stable count → ``age += 1``, changed
+   count → ``age = 0``);
+2. **callbacks** receive a frozen :class:`~repro.monitor.snapshot.Snapshot`;
+3. **schemes** are applied by the attached engine (if any);
+4. **reset** of the per-region counters (current → ``last_nr_accesses``);
+5. **split** of each region into 2 (or 3) randomly sized subregions,
+   skipped when it would exceed ``max_nr_regions``.
+
+The merge size limit (total target size / ``min_nr_regions``) guarantees
+at least ``min_nr_regions`` regions survive merging; the split guard
+keeps the count at or below ``max_nr_regions``.  Together they bound the
+overhead from above and the accuracy from below, independent of the size
+of the monitored memory — the paper's central mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import MonitorStateError
+from ..sim.clock import EventQueue
+from .attrs import MonitorAttrs
+from .primitives import MonitoringPrimitive
+from .region import (
+    MIN_REGION_SIZE,
+    Region,
+    merge_two,
+    pick_sampling_addrs,
+    regions_intersecting,
+    split_region,
+)
+from .snapshot import RegionSnapshot, Snapshot
+
+__all__ = ["DataAccessMonitor"]
+
+
+class DataAccessMonitor:
+    """One monitoring context over one primitive (≈ upstream damon_ctx)."""
+
+    def __init__(
+        self,
+        primitive: MonitoringPrimitive,
+        attrs: Optional[MonitorAttrs] = None,
+        *,
+        seed: int = 0,
+    ):
+        self.primitive = primitive
+        self.attrs = attrs if attrs is not None else MonitorAttrs()
+        self.rng = np.random.default_rng(seed)
+        self.regions: List[Region] = []
+        self.callbacks: List[Callable[[Snapshot], None]] = []
+        self.raw_callbacks: List = []
+        self.engine = None  # attached SchemesEngine, if any
+        self.running = False
+        # Sampling state: addresses whose accessed bits were cleared at
+        # _pending_since, to be checked at the next sampling tick.
+        self._addrs: Optional[np.ndarray] = None
+        self._acc: Optional[np.ndarray] = None
+        self._wacc: Optional[np.ndarray] = None
+        self._pending_since = 0
+        self._seen_generation: Optional[int] = None
+        # Split heuristic state (upstream: split into 3 when the region
+        # count has been stuck low for two consecutive aggregations).
+        self._last_nr_regions = 0
+        # Lifetime statistics.
+        self.total_checks = 0
+        self.total_aggregations = 0
+        self.total_splits = 0
+        self.total_merges = 0
+        self._events = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register_callback(self, callback: Callable[[Snapshot], None]) -> None:
+        """Register an aggregation callback (invoked before counter reset)."""
+        self.callbacks.append(callback)
+
+    def register_raw_callback(self, callback) -> None:
+        """Register a callback receiving ``(monitor, now)`` instead of a
+        frozen snapshot.  Raw callbacks avoid the per-aggregation cost of
+        materialising a snapshot; they must not mutate the region list."""
+        self.raw_callbacks.append(callback)
+
+    def attach_engine(self, engine) -> None:
+        """Attach a schemes engine, applied at every aggregation."""
+        self.engine = engine
+
+    def start(self, queue: EventQueue) -> None:
+        """Initialise regions and register periodic ticks on ``queue``.
+
+        Registration order matters: sampling before aggregation before
+        regions-update, so simultaneous ticks fire in kdamond order.
+        """
+        if self.running:
+            raise MonitorStateError("monitor already running")
+        self.init_regions()
+        a = self.attrs
+        self._events = [
+            queue.schedule_periodic(a.sampling_interval_us, self.sample_tick, name="sample"),
+            queue.schedule_periodic(
+                a.aggregation_interval_us, self.aggregate_tick, name="aggregate"
+            ),
+            queue.schedule_periodic(
+                a.regions_update_interval_us, self.regions_update_tick, name="update"
+            ),
+        ]
+        self.running = True
+
+    def stop(self) -> None:
+        """Cancel the periodic ticks; the region state is kept."""
+        for event in self._events:
+            event.cancel()
+        self._events = []
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Region initialisation and layout updates
+    # ------------------------------------------------------------------
+    def init_regions(self) -> None:
+        """Derive initial regions: each target range evenly split so the
+        total lands near ``min_nr_regions`` (upstream damon_va_init)."""
+        ranges = self.primitive.target_ranges()
+        self._seen_generation = self.primitive.layout_generation()
+        total = sum(end - start for start, end in ranges)
+        self.regions = []
+        for start, end in ranges:
+            share = max(1, round(self.attrs.min_nr_regions * (end - start) / total))
+            self.regions.extend(self._evenly_split(start, end, share))
+        self._reset_sampling_state()
+
+    @staticmethod
+    def _evenly_split(start: int, end: int, pieces: int) -> List[Region]:
+        size = end - start
+        pieces = max(1, min(pieces, size // MIN_REGION_SIZE))
+        if pieces <= 1:
+            return [Region(start, end)]
+        step = (size // pieces) & ~(MIN_REGION_SIZE - 1)
+        step = max(step, MIN_REGION_SIZE)
+        out = []
+        cursor = start
+        for _ in range(pieces - 1):
+            if end - (cursor + step) < MIN_REGION_SIZE:
+                break
+            out.append(Region(cursor, cursor + step))
+            cursor += step
+        out.append(Region(cursor, end))
+        return out
+
+    def regions_update_tick(self, now: int) -> None:
+        """Re-derive target ranges when the layout changed (mmap/munmap,
+        hotplug); surviving regions keep their counters."""
+        generation = self.primitive.layout_generation()
+        if generation == self._seen_generation:
+            return
+        self._seen_generation = generation
+        ranges = self.primitive.target_ranges()
+        self.regions = regions_intersecting(self.regions, ranges)
+        if not self.regions:
+            self.init_regions()
+        self._reset_sampling_state()
+
+    def _reset_sampling_state(self) -> None:
+        self._addrs = None
+        self._acc = np.zeros(len(self.regions), dtype=np.int64)
+        self._wacc = np.zeros(len(self.regions), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Sampling tick: check previous sample pages, prepare the next
+    # ------------------------------------------------------------------
+    def sample_tick(self, now: int) -> None:
+        """One sampling interval: check the pending sample pages, then
+        pick (and clear) the next round's sample pages."""
+        checked = 0
+        if self._addrs is not None and self._addrs.size == len(self.regions):
+            window = now - self._pending_since
+            probs = self.primitive.access_probabilities(self._addrs, window)
+            hits = self.rng.random(len(probs)) < probs
+            self._acc += hits
+            if self.attrs.track_writes:
+                wprobs = self.primitive.write_probabilities(self._addrs, window)
+                self._wacc += self.rng.random(len(wprobs)) < wprobs
+            checked = len(self.regions)
+            self.total_checks += checked
+        # The kdamond wakeup itself costs CPU even on a tick that only
+        # prepares the next sample round.
+        self.primitive.charge_checks(checked, wakeups=1)
+        # prepare_access_checks: pick and clear next sample pages.
+        self._addrs = pick_sampling_addrs(self.regions, self.rng)
+        self._pending_since = now
+
+    # ------------------------------------------------------------------
+    # Aggregation tick: merge/age → callbacks → schemes → reset → split
+    # ------------------------------------------------------------------
+    def aggregate_tick(self, now: int) -> None:
+        """One aggregation interval: merge/age, callbacks, schemes,
+        counter reset, split — in upstream kdamond order."""
+        # Publish accumulated counts (and the last pending sample
+        # addresses, for introspection) into the region objects.
+        if self._addrs is not None and self._addrs.size == len(self.regions):
+            for region, addr in zip(self.regions, self._addrs):
+                region.sampling_addr = int(addr)
+        for region, count, wcount in zip(self.regions, self._acc, self._wacc):
+            region.nr_accesses = int(count)
+            region.nr_writes = int(wcount)
+            # Peak-hold with slow decay; floored so long-idle regions
+            # eventually read as fully clean again.
+            region.write_ewma = max(float(wcount), region.write_ewma * 0.95)
+            if region.write_ewma < 0.5:
+                region.write_ewma = 0.0
+        max_seen = int(self._acc.max()) if self._acc.size else 0
+
+        threshold = max(1, max_seen // 10)
+        self._merge_regions(threshold)
+
+        if self.callbacks:
+            snapshot = self.snapshot(now)
+            for callback in self.callbacks:
+                callback(snapshot)
+        for raw in self.raw_callbacks:
+            raw(self, now)
+        if self.engine is not None:
+            self.engine.apply(self, now)
+
+        for region in self.regions:
+            region.last_nr_accesses = region.nr_accesses
+            region.nr_accesses = 0
+
+        self._split_regions()
+        self._reset_sampling_state()
+        self.total_aggregations += 1
+
+    def snapshot(self, now: int) -> Snapshot:
+        """Freeze the current region state for callbacks/analysis."""
+        return Snapshot(
+            time_us=now,
+            regions=tuple(
+                RegionSnapshot(r.start, r.end, r.nr_accesses, r.age, r.nr_writes)
+                for r in self.regions
+            ),
+            max_nr_accesses=self.attrs.max_nr_accesses,
+        )
+
+    # -- merge (with aging) ---------------------------------------------
+    def _merge_size_limit(self) -> int:
+        total = sum(r.size for r in self.regions)
+        return max(MIN_REGION_SIZE, total // self.attrs.min_nr_regions)
+
+    def _merge_regions(self, threshold: int) -> None:
+        """Upstream damon_merge_regions_of: age every region, then fold
+        adjacent regions whose counts differ by at most ``threshold``,
+        capping merged size so at least ``min_nr_regions`` survive."""
+        if not self.regions:
+            return
+        sz_limit = self._merge_size_limit()
+        merged: List[Region] = []
+        for region in self.regions:
+            # Aging: stable access count → older; changed → reset.
+            if abs(region.nr_accesses - region.last_nr_accesses) > threshold:
+                region.age = 0
+            else:
+                region.age += 1
+            prev = merged[-1] if merged else None
+            if (
+                prev is not None
+                and prev.end == region.start
+                and abs(prev.nr_accesses - region.nr_accesses) <= threshold
+                and prev.size + region.size <= sz_limit
+            ):
+                merged[-1] = merge_two(prev, region)
+                self.total_merges += 1
+            else:
+                merged.append(region)
+        self.regions = merged
+
+    # -- split -----------------------------------------------------------
+    def _split_regions(self) -> None:
+        """Upstream kdamond_split_regions: probe for intra-region skew by
+        splitting every region at a random point, unless the count is
+        already above half the maximum."""
+        nr = len(self.regions)
+        if nr > self.attrs.max_nr_regions // 2:
+            self._last_nr_regions = nr
+            return
+        subregions = 2
+        if nr < self.attrs.max_nr_regions // 3 and nr == self._last_nr_regions:
+            subregions = 3
+        out: List[Region] = []
+        for region in self.regions:
+            out.extend(self._split_random(region, subregions))
+        self.total_splits += len(out) - nr
+        self._last_nr_regions = nr
+        self.regions = out
+
+    def _split_random(self, region: Region, pieces: int) -> List[Region]:
+        result = [region]
+        for _ in range(pieces - 1):
+            target = result[-1]
+            n_pages = target.size // MIN_REGION_SIZE
+            if n_pages < 2:
+                break
+            # Random page-aligned split point strictly inside the region.
+            offset_pages = int(self.rng.integers(1, n_pages))
+            split_at = target.start + offset_pages * MIN_REGION_SIZE
+            result[-1:] = split_region(target, split_at)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nr_regions(self) -> int:
+        """Current region count (bounded by the configured maximum)."""
+        return len(self.regions)
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants the property tests rely on."""
+        prev_end = None
+        for region in self.regions:
+            if region.size < MIN_REGION_SIZE:
+                raise MonitorStateError(f"undersized region {region!r}")
+            if prev_end is not None and region.start < prev_end:
+                raise MonitorStateError(f"overlapping region {region!r}")
+            prev_end = region.end

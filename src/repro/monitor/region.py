@@ -1,0 +1,179 @@
+"""Monitoring regions: the unit of the space/overhead trade-off.
+
+A :class:`Region` covers ``[start, end)`` bytes of the monitored target
+and carries the two outputs of the monitor: ``nr_accesses`` (how many of
+the aggregation interval's sampling checks found the region's sample
+page accessed — frequency) and ``age`` (for how many aggregation
+intervals that frequency has been stable — recency).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["MIN_REGION_SIZE", "Region", "split_region", "merge_two"]
+
+#: Regions never shrink below one page: the sampling granularity.
+MIN_REGION_SIZE = 4096
+
+
+class Region:
+    """One monitoring region.
+
+    ``last_nr_accesses`` holds the previous aggregation's count; the
+    aging step compares it with the fresh count to decide between
+    incrementing and resetting ``age``.
+    """
+
+    __slots__ = (
+        "start",
+        "end",
+        "nr_accesses",
+        "last_nr_accesses",
+        "nr_writes",
+        "write_ewma",
+        "age",
+        "sampling_addr",
+    )
+
+    def __init__(self, start: int, end: int):
+        if end - start < MIN_REGION_SIZE:
+            raise ConfigError(
+                f"region [{start:#x}, {end:#x}) below minimum size {MIN_REGION_SIZE}"
+            )
+        self.start = int(start)
+        self.end = int(end)
+        self.nr_accesses = 0
+        self.last_nr_accesses = 0
+        self.nr_writes = 0
+        # Peak-hold write indicator: rises to the per-aggregation write
+        # count immediately, decays slowly while the region idles.  A
+        # periodically-rewritten region stays visibly "dirty" through
+        # its idle windows, where the instantaneous ``nr_writes`` reads
+        # zero — which is what write-aware schemes must see.
+        self.write_ewma = 0.0
+        self.age = 0
+        self.sampling_addr = int(start)
+
+    def __repr__(self):
+        return (
+            f"Region({self.start:#x}-{self.end:#x}, "
+            f"nr={self.nr_accesses}, age={self.age})"
+        )
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Does this region intersect ``[start, end)``?"""
+        return self.start < end and start < self.end
+
+
+def split_region(region: Region, split_at: int) -> List[Region]:
+    """Split ``region`` at byte offset ``split_at`` (absolute address).
+
+    Both children inherit the parent's access count and age — the
+    monitor has no evidence yet that they differ (upstream
+    ``damon_split_region_at``).
+    """
+    if not region.start + MIN_REGION_SIZE <= split_at <= region.end - MIN_REGION_SIZE:
+        raise ConfigError(
+            f"split point {split_at:#x} leaves a child below the minimum size"
+        )
+    left = Region(region.start, split_at)
+    right = Region(split_at, region.end)
+    for child in (left, right):
+        child.nr_accesses = region.nr_accesses
+        child.last_nr_accesses = region.last_nr_accesses
+        child.nr_writes = region.nr_writes
+        child.write_ewma = region.write_ewma
+        child.age = region.age
+    return [left, right]
+
+
+def merge_two(left: Region, right: Region) -> Region:
+    """Merge adjacent regions into one.
+
+    The merged access count and age are size-weighted averages of the
+    parents' (paper §3.1; upstream ``damon_merge_two_regions``).
+    """
+    if left.end != right.start:
+        raise ConfigError(
+            f"cannot merge non-adjacent regions {left!r} and {right!r}"
+        )
+    merged = Region(left.start, right.end)
+    total = left.size + right.size
+    merged.nr_accesses = int(
+        round((left.nr_accesses * left.size + right.nr_accesses * right.size) / total)
+    )
+    merged.last_nr_accesses = int(
+        round(
+            (left.last_nr_accesses * left.size + right.last_nr_accesses * right.size)
+            / total
+        )
+    )
+    merged.nr_writes = int(
+        round((left.nr_writes * left.size + right.nr_writes * right.size) / total)
+    )
+    merged.write_ewma = (
+        left.write_ewma * left.size + right.write_ewma * right.size
+    ) / total
+    merged.age = int(round((left.age * left.size + right.age * right.size) / total))
+    merged.sampling_addr = left.sampling_addr
+    return merged
+
+
+def regions_intersecting(
+    regions: List[Region], ranges: List[tuple]
+) -> List[Region]:
+    """Clip an existing region list to a new set of target ranges.
+
+    Used by the regions-update step: regions overlapping the new layout
+    survive (clipped to it, keeping their counters — monitoring history
+    is preserved across mmap/munmap), and uncovered parts of the new
+    ranges get fresh regions.
+    """
+    out: List[Region] = []
+    for range_start, range_end in ranges:
+        covered = range_start
+        for region in regions:
+            if not region.overlaps(range_start, range_end):
+                continue
+            lo = max(region.start, range_start)
+            hi = min(region.end, range_end)
+            if hi - lo < MIN_REGION_SIZE:
+                continue
+            if lo - covered >= MIN_REGION_SIZE:
+                out.append(Region(covered, lo))
+            clipped = Region(lo, hi)
+            clipped.nr_accesses = region.nr_accesses
+            clipped.last_nr_accesses = region.last_nr_accesses
+            clipped.nr_writes = region.nr_writes
+            clipped.write_ewma = region.write_ewma
+            clipped.age = region.age
+            out.append(clipped)
+            covered = hi
+        if range_end - covered >= MIN_REGION_SIZE:
+            out.append(Region(covered, range_end))
+    return out
+
+
+def pick_sampling_addrs(regions: List[Region], rng: np.random.Generator) -> np.ndarray:
+    """Choose one random page-aligned sample address per region (vectorized).
+
+    ``Region.sampling_addr`` is *not* written back here — the sampling
+    loop owns the pending-address array; the field is only refreshed at
+    aggregation boundaries for introspection.
+    """
+    if not regions:
+        return np.empty(0, dtype=np.int64)
+    starts = np.array([r.start for r in regions], dtype=np.int64)
+    ends = np.array([r.end for r in regions], dtype=np.int64)
+    n_pages = (ends - starts) >> 12
+    offsets = (rng.random(len(regions)) * n_pages).astype(np.int64)
+    return starts + (offsets << 12)

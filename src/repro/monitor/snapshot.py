@@ -1,0 +1,71 @@
+"""Aggregation snapshots handed to monitoring callbacks.
+
+Just before resetting the per-region access counters at each aggregation
+interval, the monitor freezes the region state into a :class:`Snapshot`
+and invokes every registered callback with it (§3.1: "the monitoring
+result is passed to the user by a user-registered callback that is
+invoked for each aggregation interval").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RegionSnapshot", "Snapshot"]
+
+
+@dataclass(frozen=True)
+class RegionSnapshot:
+    """Immutable copy of one region's state at aggregation time."""
+
+    start: int
+    end: int
+    nr_accesses: int
+    age: int
+    #: Write-channel counter; 0 unless the monitor tracks writes.
+    nr_writes: int = 0
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def frequency(self, max_nr_accesses: int) -> float:
+        """Access frequency as a fraction of the sampling checks."""
+        if max_nr_accesses <= 0:
+            return 0.0
+        return min(1.0, self.nr_accesses / max_nr_accesses)
+
+    def write_frequency(self, max_nr_accesses: int) -> float:
+        """Write frequency as a fraction of the sampling checks."""
+        if max_nr_accesses <= 0:
+            return 0.0
+        return min(1.0, self.nr_writes / max_nr_accesses)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """All regions at one aggregation instant."""
+
+    time_us: int
+    regions: Tuple[RegionSnapshot, ...]
+    #: Number of sampling checks per aggregation — the ceiling for
+    #: ``nr_accesses``, needed to turn counts into frequencies.
+    max_nr_accesses: int
+
+    def total_size(self) -> int:
+        """Bytes covered by all regions."""
+        return sum(r.size for r in self.regions)
+
+    def hot_bytes(self, min_frequency: float) -> int:
+        """Bytes in regions at or above ``min_frequency`` — a working-set
+        style summary used by examples and the STAT tests."""
+        return sum(
+            r.size
+            for r in self.regions
+            if r.frequency(self.max_nr_accesses) >= min_frequency
+        )
+
+    def matching(self, predicate) -> List[RegionSnapshot]:
+        """Regions for which ``predicate(region)`` holds."""
+        return [r for r in self.regions if predicate(r)]

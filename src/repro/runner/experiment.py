@@ -1,0 +1,248 @@
+"""The experiment driver: one (workload × machine × config) simulation.
+
+Wiring order inside :func:`run_experiment` mirrors the real system's
+boot: guest kernel first, then the monitor (kdamond), then the schemes
+engine, then the workload's epoch loop; khugepaged runs only under
+``thp=always``.  Monitor ticks registered before epoch ticks fire first
+at shared instants, matching the asynchronous kdamond running alongside
+the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..errors import ConfigError
+from ..monitor.attrs import MonitorAttrs
+from ..monitor.core import DataAccessMonitor
+from ..monitor.primitives import PhysicalPrimitive, VirtualPrimitive
+from ..schemes.engine import SchemesEngine
+from ..schemes.parser import parse_schemes
+from ..sim.clock import EventQueue
+from ..sim.costs import CostModel
+from ..sim.kernel import SimKernel
+from ..sim.machine import get_instance, guest_of
+from ..sim.swap import FileSwapDevice, NoSwapDevice, ZramDevice
+from ..sim.thp import ThpPolicy
+from ..tuning.runtime import AutoTuner, TuningResult
+from ..tuning.score import ScoreFunction
+from ..units import GIB, SEC
+from ..workloads.base import Workload, WorkloadSpec
+from ..workloads.registry import get_workload
+from .configs import ExperimentConfig, get_config, prcl_config
+from .results import RunResult
+
+__all__ = ["run_experiment", "autotune_scheme"]
+
+
+def replace_quota(quota):
+    """Fresh per-run copy of a config's quota (quotas carry window state)."""
+    from ..schemes.quotas import Quota
+
+    return Quota(size_bytes=quota.size_bytes, reset_interval_us=quota.reset_interval_us)
+
+#: khugepaged scan period under thp=always.
+_KHUGEPAGED_PERIOD_US = 1 * SEC
+
+
+def _build_swap(kind: str, machine) -> object:
+    """The run's swap device; ZRAM speed scales with the host clock,
+    file swap latency comes from the instance's NVMe characteristics.
+
+    The per-page ZRAM cost bundles fault-handler entry, (de)compression
+    and TLB maintenance, and is calibrated ~10x above the raw lzo cost
+    because workload footprints are modelled ~10x below the paper's
+    (fault *volume* scales with footprint; keeping the volume × cost
+    product preserves the paper's slowdown magnitudes — see DESIGN.md).
+    """
+    if kind == "zram":
+        # (De)compression is part compute (scales with the clock), part
+        # memory-bound (does not), hence the square root.
+        scale = machine.cpu_scale ** 0.5
+        return ZramDevice(
+            4 * GIB,
+            compress_us_per_page=10.0 / scale,
+            decompress_us_per_page=25.0 / scale,
+        )
+    if kind == "file":
+        return FileSwapDevice(
+            32 * GIB,
+            read_us_per_page=machine.nvme_read_us,
+            write_us_per_page=machine.nvme_write_us / 2.0,
+        )
+    if kind == "none":
+        return NoSwapDevice()
+    raise ConfigError(f"unknown swap kind {kind!r} (zram | file | none)")
+
+
+def run_experiment(
+    workload: Union[str, WorkloadSpec],
+    *,
+    config: Union[str, ExperimentConfig] = "baseline",
+    machine: str = "i3.metal",
+    seed: int = 0,
+    time_scale: float = 1.0,
+    swap: str = "zram",
+    attrs: Optional[MonitorAttrs] = None,
+    costs: Optional[CostModel] = None,
+    keep_snapshots: int = 0,
+) -> RunResult:
+    """Run one experiment and return its raw measurements.
+
+    ``time_scale`` shrinks the workload's nominal duration for fast CI
+    runs (scheme ages and pattern periods are *not* scaled — they are
+    what is being measured).  ``keep_snapshots`` > 0 retains up to that
+    many aggregation snapshots for heatmap rendering.
+    """
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
+    cfg = get_config(config) if isinstance(config, str) else config
+    host = get_instance(machine)
+    guest = guest_of(host)
+
+    kernel = SimKernel(
+        guest,
+        swap=_build_swap(swap, host),
+        costs=costs,
+        thp=ThpPolicy(mode=cfg.thp_mode),
+        seed=seed,
+    )
+    queue = EventQueue()
+    work = Workload(spec, kernel, seed=seed + 1)
+    work.setup()
+
+    # --- monitoring stack -------------------------------------------------
+    monitor = None
+    engine = None
+    snapshots = [] if (cfg.record or keep_snapshots) else None
+    if cfg.monitor is not None:
+        primitive = (
+            VirtualPrimitive(kernel) if cfg.monitor == "vaddr" else PhysicalPrimitive(kernel)
+        )
+        monitor = DataAccessMonitor(
+            primitive, attrs if attrs is not None else MonitorAttrs(), seed=seed + 2
+        )
+        if snapshots is not None:
+            # Downsample so a full run keeps ~240 snapshots: building a
+            # region-snapshot tuple per aggregation for a long run would
+            # dominate the wall time without adding heatmap resolution.
+            n_aggr = spec.duration_us // monitor.attrs.aggregation_interval_us
+            target = keep_snapshots or 240
+            stride = max(1, int(n_aggr // target))
+            counter = {"n": 0}
+
+            def _record(mon, now, _store=snapshots, _stride=stride, _c=counter):
+                if _c["n"] % _stride == 0:
+                    _store.append(mon.snapshot(now))
+                _c["n"] += 1
+
+            monitor.register_raw_callback(_record)
+        if cfg.schemes_text is not None:
+            schemes = parse_schemes(cfg.schemes_text, monitor.attrs)
+            if cfg.quota is not None:
+                for scheme in schemes:
+                    scheme.quota = replace_quota(cfg.quota)
+            engine = SchemesEngine(kernel, schemes)
+            monitor.attach_engine(engine)
+        monitor.start(queue)
+
+    # --- khugepaged (thp=always only) --------------------------------------
+    if cfg.thp_mode == "always":
+        queue.schedule_periodic(
+            _KHUGEPAGED_PERIOD_US, lambda now: kernel.khugepaged_scan(now), name="khugepaged"
+        )
+
+    # --- workload epoch loop ----------------------------------------------
+    compute_us = work.compute_us_per_epoch(guest.cpu_scale)
+    kernel.sample_memory(0)
+
+    def run_one_epoch(now: int) -> None:
+        work.run_epoch(now)
+        kernel.end_epoch(now + spec.epoch_us, compute_us)
+
+    # First epoch at t=0, the rest via the queue; epoch handlers are
+    # registered after the monitor so monitor ticks win ties.
+    run_one_epoch(0)
+    queue.schedule_periodic(spec.epoch_us, run_one_epoch, name="epoch")
+    queue.run_until(spec.duration_us)
+    if monitor is not None:
+        monitor.stop()
+
+    metrics = kernel.metrics
+    scheme_stats = {}
+    if engine is not None:
+        for i, scheme in enumerate(engine.schemes):
+            scheme_stats[f"{i}:{scheme.action.value}"] = {
+                "nr_tried": scheme.stats.nr_tried,
+                "sz_tried": scheme.stats.sz_tried,
+                "nr_applied": scheme.stats.nr_applied,
+                "sz_applied": scheme.stats.sz_applied,
+            }
+    return RunResult(
+        workload=spec.full_name,
+        config=cfg.name,
+        machine=machine,
+        seed=seed,
+        duration_us=spec.duration_us,
+        runtime_us=metrics.runtime.total_us(),
+        avg_rss_bytes=metrics.memory.avg_rss(),
+        peak_rss_bytes=float(metrics.memory.peak_rss),
+        avg_system_bytes=metrics.memory.avg_system(),
+        final_rss_bytes=float(metrics.memory.last_rss),
+        final_system_bytes=float(metrics.memory.last_system),
+        breakdown=metrics.as_dict(),
+        monitor_checks=metrics.monitor_checks,
+        monitor_cpu_us=metrics.monitor_cpu_us,
+        scheme_stats=scheme_stats,
+        snapshots=snapshots,
+    )
+
+
+def autotune_scheme(
+    workload: str,
+    *,
+    machine: str = "i3.metal",
+    nr_samples: int = 10,
+    min_age_range_s: Tuple[float, float] = (0.0, 60.0),
+    seed: int = 0,
+    time_scale: float = 1.0,
+    score_function: Optional[ScoreFunction] = None,
+) -> Tuple[TuningResult, RunResult, RunResult]:
+    """Auto-tune the prcl scheme for one workload (§4.3).
+
+    Returns ``(tuning_result, baseline_run, tuned_run)`` where the tuned
+    run uses the best ``min_age`` the tuner found.
+    """
+    baseline = run_experiment(
+        workload, config="baseline", machine=machine, seed=seed, time_scale=time_scale
+    )
+
+    def evaluate(min_age_s: float):
+        min_age_us = max(0, int(min_age_s * 1_000_000))
+        run = run_experiment(
+            workload,
+            config=prcl_config(min_age_us),
+            machine=machine,
+            seed=seed,
+            time_scale=time_scale,
+        )
+        return run.runtime_us, run.avg_rss_bytes
+
+    lo, hi = min_age_range_s
+    tuner = AutoTuner(
+        evaluate,
+        (baseline.runtime_us, baseline.avg_rss_bytes),
+        lo,
+        hi,
+        score_function=score_function,
+        seed=seed + 10,
+    )
+    result = tuner.tune(nr_samples)
+    tuned = run_experiment(
+        workload,
+        config=prcl_config(int(result.best_param * 1_000_000)),
+        machine=machine,
+        seed=seed,
+        time_scale=time_scale,
+    )
+    return result, baseline, tuned

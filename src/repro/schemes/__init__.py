@@ -1,0 +1,38 @@
+"""Memory Management Schemes Engine — the paper's §3.2 (DAMOS).
+
+A *scheme* couples an access-pattern predicate — three min/max ranges
+over region size, access frequency and age — with one of the Table 1
+actions.  The engine sits on a :class:`~repro.monitor.core.DataAccessMonitor`
+and, at every aggregation interval, applies each scheme's action to the
+regions matching its pattern.
+
+Beyond the paper's core, this package also implements the quota and
+watermark extensions that the upstream system grew (charge limits with
+access-pattern-based prioritisation, and free-memory activation
+thresholds); ablation benchmarks exercise them.
+"""
+
+from .actions import Action, apply_action
+from .engine import SchemesEngine
+from .filters import AddressFilter, apply_filters
+from .parser import format_scheme, parse_scheme, parse_schemes
+from .quotas import Quota
+from .scheme import AccessPattern, Scheme
+from .stats import SchemeStats
+from .watermarks import Watermarks
+
+__all__ = [
+    "AccessPattern",
+    "Action",
+    "AddressFilter",
+    "Quota",
+    "Scheme",
+    "SchemeStats",
+    "SchemesEngine",
+    "Watermarks",
+    "apply_action",
+    "apply_filters",
+    "format_scheme",
+    "parse_scheme",
+    "parse_schemes",
+]

@@ -1,0 +1,119 @@
+"""The Table 1 scheme actions and their kernel back-ends.
+
+=============  ==============================================================
+Action         Description (paper Table 1)
+=============  ==============================================================
+WILLNEED       Ask the kernel to expect the region to be accessed soon.
+COLD           Ask the kernel to expect the region not to be accessed soon.
+HUGEPAGE       THP promotion for the region.
+NOHUGEPAGE     THP demotion for the region.
+PAGEOUT        Immediately page out the region.
+STAT           Only count regions fulfilling the conditions (for working-set
+               estimation and scheme tuning).
+LRU_PRIO       Move the region to the head of the active LRU list.
+LRU_DEPRIO     Move the region to the tail of the inactive LRU list.
+=============  ==============================================================
+
+LRU_PRIO and LRU_DEPRIO are the "more actions in the future" the paper
+announces (Table 1's closing sentence); they shipped upstream as the
+DAMON_LRU_SORT module's primitives.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SchemeError
+from ..sim.kernel import SimKernel
+from ..sim.pagetable import PAGE_SIZE
+
+__all__ = ["Action", "apply_action"]
+
+
+class Action(enum.Enum):
+    """A DAMOS memory operation."""
+
+    WILLNEED = "willneed"
+    COLD = "cold"
+    HUGEPAGE = "hugepage"
+    NOHUGEPAGE = "nohugepage"
+    PAGEOUT = "pageout"
+    STAT = "stat"
+    LRU_PRIO = "lru_prio"
+    LRU_DEPRIO = "lru_deprio"
+
+    @classmethod
+    def parse(cls, token: str) -> "Action":
+        """Parse an action token; accepts the paper's spelling variants
+        (``page_out``, ``thp``, ``nothp``)."""
+        normalized = token.strip().lower().replace("_", "")
+        aliases = {
+            "willneed": cls.WILLNEED,
+            "cold": cls.COLD,
+            "hugepage": cls.HUGEPAGE,
+            "thp": cls.HUGEPAGE,
+            "nohugepage": cls.NOHUGEPAGE,
+            "nothp": cls.NOHUGEPAGE,
+            "pageout": cls.PAGEOUT,
+            "stat": cls.STAT,
+            "lruprio": cls.LRU_PRIO,
+            "lrudeprio": cls.LRU_DEPRIO,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            known = ", ".join(sorted(set(aliases)))
+            raise SchemeError(f"unknown action {token!r}; known: {known}") from None
+
+
+#: Actions the physical-address ops support (mirrors upstream: paddr
+#: DAMOS handles pageout and LRU sorting; THP and madvise hints need a
+#: virtual mapping context).
+PADDR_ACTIONS = frozenset(
+    {Action.PAGEOUT, Action.LRU_PRIO, Action.LRU_DEPRIO, Action.COLD, Action.STAT}
+)
+
+
+def apply_action(
+    kernel: SimKernel, action: Action, start: int, end: int, now: int, *, phys: bool = False
+) -> int:
+    """Apply ``action`` to ``[start, end)``; returns bytes operated on.
+
+    ``phys`` selects the physical-address back-ends: the range is frame
+    addresses resolved through the reverse map, and only
+    :data:`PADDR_ACTIONS` are available.  STAT touches nothing and
+    reports the full region size (the engine's statistics layer counts
+    it).
+    """
+    if end <= start:
+        raise SchemeError(f"empty action range [{start:#x}, {end:#x})")
+    if phys:
+        if action not in PADDR_ACTIONS:
+            raise SchemeError(
+                f"action {action.value} is not supported on physical-address "
+                f"targets (supported: {sorted(a.value for a in PADDR_ACTIONS)})"
+            )
+        if action is Action.PAGEOUT:
+            return kernel.pageout_phys(start, end, now) * PAGE_SIZE
+        if action is Action.LRU_PRIO:
+            return kernel.lru_prioritize_phys(start, end, now) * PAGE_SIZE
+        if action in (Action.LRU_DEPRIO, Action.COLD):
+            return kernel.lru_deprioritize_phys(start, end, now) * PAGE_SIZE
+        return end - start  # STAT
+    if action is Action.PAGEOUT:
+        return kernel.pageout(start, end, now) * PAGE_SIZE
+    if action is Action.WILLNEED:
+        return kernel.madvise_willneed(start, end, now) * PAGE_SIZE
+    if action is Action.COLD:
+        return kernel.madvise_cold(start, end, now) * PAGE_SIZE
+    if action is Action.HUGEPAGE:
+        return kernel.madvise_hugepage(start, end, now) * (2 << 20)
+    if action is Action.NOHUGEPAGE:
+        return kernel.madvise_nohugepage(start, end, now) * (2 << 20)
+    if action is Action.STAT:
+        return end - start
+    if action is Action.LRU_PRIO:
+        return kernel.lru_prioritize(start, end, now) * PAGE_SIZE
+    if action is Action.LRU_DEPRIO:
+        return kernel.lru_deprioritize(start, end, now) * PAGE_SIZE
+    raise SchemeError(f"unhandled action {action!r}")

@@ -1,0 +1,129 @@
+"""The schemes engine: applying schemes to monitoring results.
+
+"The engine continuously monitors the system's access pattern online via
+the underlying Data Access Monitor ... For each monitoring result that
+is returned, the engine checks if the scheme it has received has an
+associated memory management action for the current access pattern.  If
+so, it executes the management action." (§3)
+
+The engine attaches to a :class:`~repro.monitor.core.DataAccessMonitor`
+(``monitor.attach_engine(engine)``) and is invoked once per aggregation
+interval, after merging/aging and user callbacks, on the live region
+list — the same position ``kdamond_apply_schemes`` occupies upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..errors import SchemeError
+from ..sim.kernel import SimKernel
+from .actions import Action, apply_action
+from .filters import apply_filters
+from .quotas import priority
+from .scheme import Scheme
+
+__all__ = ["SchemesEngine"]
+
+#: Actions that target cold memory; quota prioritisation inverts the
+#: frequency score for these.
+_COLD_ACTIONS = frozenset(
+    {Action.PAGEOUT, Action.COLD, Action.NOHUGEPAGE, Action.LRU_DEPRIO}
+)
+
+
+class SchemesEngine:
+    """Applies an ordered list of schemes against one kernel."""
+
+    def __init__(self, kernel: SimKernel, schemes: Optional[Iterable[Scheme]] = None):
+        self.kernel = kernel
+        self.schemes: List[Scheme] = list(schemes) if schemes is not None else []
+
+    def add(self, scheme: Scheme) -> None:
+        """Append a scheme; schemes apply in installation order."""
+        self.schemes.append(scheme)
+
+    def replace_schemes(self, schemes: Iterable[Scheme]) -> None:
+        """Swap the installed schemes (the auto-tuner does this between
+        sampling runs); statistics of the outgoing schemes are kept by
+        their owners."""
+        self.schemes = list(schemes)
+
+    # ------------------------------------------------------------------
+    def apply(self, monitor, now: int) -> None:
+        """One engine pass: called by the monitor at every aggregation."""
+        attrs = monitor.attrs
+        # Physical-address monitors hand out frame-address regions;
+        # actions must go through the rmap-based back-ends.
+        phys = getattr(monitor.primitive, "name", "vaddr") == "paddr"
+        for scheme in self.schemes:
+            if scheme.watermarks is not None:
+                free_ratio = self.kernel.frames.free_frames() / self.kernel.frames.n_frames
+                if not scheme.watermarks.update(free_ratio):
+                    continue
+            scheme.stats.nr_intervals += 1
+            matching = [r for r in monitor.regions if scheme.pattern.matches(r, attrs)]
+            if not matching:
+                continue
+            if scheme.quota is not None and scheme.quota.limited:
+                matching.sort(
+                    key=lambda r: priority(
+                        r.nr_accesses,
+                        r.age,
+                        attrs.max_nr_accesses,
+                        prefer_cold=scheme.action in _COLD_ACTIONS,
+                    ),
+                    reverse=True,
+                )
+            budget = scheme.quota.remaining(now) if scheme.quota is not None else None
+            for region in matching:
+                scheme.stats.record_tried(region.size)
+                end = region.end
+                if budget is not None:
+                    if budget < 4096:
+                        continue
+                    if region.size > budget:
+                        # Upstream splits the region at the budget
+                        # boundary and applies to the first part.
+                        end = region.start + (budget & ~4095)
+                if end <= region.start:
+                    continue
+                # Filters may shatter the applicable range.
+                pieces = (
+                    apply_filters(region.start, end, scheme.filters)
+                    if scheme.filters
+                    else [(region.start, end)]
+                )
+                applied = 0
+                for piece_start, piece_end in pieces:
+                    applied += apply_action(
+                        self.kernel, scheme.action, piece_start, piece_end, now,
+                        phys=phys,
+                    )
+                if applied:
+                    scheme.stats.record_applied(applied)
+                    if scheme.quota is not None:
+                        scheme.quota.charge(applied, now)
+                        if budget is not None:
+                            budget -= applied
+                # Aging note: the kernel resets a region's age when a
+                # scheme was applied to it, so the same region is not
+                # re-targeted every aggregation while its pattern decays.
+                if applied and scheme.action is not Action.STAT:
+                    region.age = 0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-line-per-scheme summary."""
+        if not self.schemes:
+            return "(no schemes installed)"
+        return "\n".join(s.describe() for s in self.schemes)
+
+    def validate(self) -> None:
+        """Sanity-check the installed schemes as a set."""
+        for scheme in self.schemes:
+            if scheme.action is Action.PAGEOUT and scheme.pattern.min_freq > 0.5:
+                raise SchemeError(
+                    "paging out memory with >50% access frequency will thrash: "
+                    f"{scheme.describe()}"
+                )

@@ -1,0 +1,93 @@
+"""Scheme filters: restrict where an action may land.
+
+An upstream extension of the paper's engine: a scheme can carry filters
+that pass or reject parts of each matching region before the action is
+applied.  The address-range filter reproduced here is the workhorse —
+"reclaim cold memory, but never touch this arena" — and composes:
+
+* *allow* filters intersect (the action lands only inside them);
+* *reject* filters subtract (the action never lands inside them).
+
+Filters operate on byte intervals, so a region matching the access
+pattern may be applied partially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..errors import SchemeError
+
+__all__ = ["AddressFilter", "apply_filters"]
+
+
+@dataclass(frozen=True)
+class AddressFilter:
+    """Pass (``allow=True``) or reject (``allow=False``) an address range."""
+
+    start: int
+    end: int
+    allow: bool = True
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise SchemeError(f"empty filter range [{self.start:#x}, {self.end:#x})")
+
+
+def _intersect(intervals: List[Tuple[int, int]], start: int, end: int):
+    out = []
+    for lo, hi in intervals:
+        nlo, nhi = max(lo, start), min(hi, end)
+        if nhi > nlo:
+            out.append((nlo, nhi))
+    return out
+
+
+def _subtract(intervals: List[Tuple[int, int]], start: int, end: int):
+    out = []
+    for lo, hi in intervals:
+        if end <= lo or start >= hi:
+            out.append((lo, hi))
+            continue
+        if lo < start:
+            out.append((lo, start))
+        if end < hi:
+            out.append((end, hi))
+    return out
+
+
+def apply_filters(
+    start: int, end: int, filters: Iterable[AddressFilter]
+) -> List[Tuple[int, int]]:
+    """The sub-intervals of ``[start, end)`` the action may touch.
+
+    With no filters the whole interval passes.  Allow filters are
+    OR-combined (inside *any* allowed range passes), then reject filters
+    carve holes out of the result.
+    """
+    if end <= start:
+        raise SchemeError(f"empty action range [{start:#x}, {end:#x})")
+    filters = list(filters)
+    allows = [f for f in filters if f.allow]
+    rejects = [f for f in filters if not f.allow]
+
+    if allows:
+        intervals: List[Tuple[int, int]] = []
+        for f in allows:
+            intervals.extend(_intersect([(start, end)], f.start, f.end))
+        # Merge overlaps from multiple allow filters.
+        intervals.sort()
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in intervals:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        intervals = merged
+    else:
+        intervals = [(start, end)]
+
+    for f in rejects:
+        intervals = _subtract(intervals, f.start, f.end)
+    return intervals

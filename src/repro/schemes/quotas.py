@@ -1,0 +1,73 @@
+"""Scheme charge quotas with access-pattern-based prioritisation.
+
+An upstream extension of the paper's engine: a scheme can be capped to
+apply at most ``size_bytes`` per ``reset_interval``.  When the matching
+regions exceed the budget, the engine sorts them by a priority derived
+from access frequency and age — cold actions (PAGEOUT, COLD) prefer the
+coldest-and-oldest regions first, hot actions the hottest — so the quota
+spends its budget where the scheme's intent says it matters most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchemeError
+from ..units import SEC, UNLIMITED
+
+__all__ = ["Quota"]
+
+
+@dataclass
+class Quota:
+    """Apply-size budget for one scheme."""
+
+    #: Maximum bytes the scheme may operate on per window (UNLIMITED = off).
+    size_bytes: int = UNLIMITED
+    #: Budget window length in microseconds.
+    reset_interval_us: int = 1 * SEC
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise SchemeError(f"quota size cannot be negative: {self.size_bytes}")
+        if self.reset_interval_us <= 0:
+            raise SchemeError("quota reset interval must be positive")
+        self._charged = 0
+        self._window_start = None
+
+    # ------------------------------------------------------------------
+    def remaining(self, now: int) -> int:
+        """Budget left in the current window (rolls the window forward)."""
+        if self.size_bytes == UNLIMITED:
+            return UNLIMITED
+        if self._window_start is None or now - self._window_start >= self.reset_interval_us:
+            self._window_start = now
+            self._charged = 0
+        return max(0, self.size_bytes - self._charged)
+
+    def charge(self, nbytes: int, now: int) -> None:
+        """Consume ``nbytes`` of the current window's budget."""
+        if self.size_bytes == UNLIMITED:
+            return
+        self.remaining(now)  # roll the window
+        self._charged += nbytes
+
+    @property
+    def limited(self) -> bool:
+        return self.size_bytes != UNLIMITED
+
+
+def priority(nr_accesses: int, age: int, max_nr_accesses: int, *, prefer_cold: bool) -> float:
+    """Region priority under quota pressure, higher = applied first.
+
+    Follows the upstream formula's spirit: a blend of (inverse) access
+    frequency and age, each normalised to [0, 1].
+    """
+    if max_nr_accesses <= 0:
+        raise SchemeError("max_nr_accesses must be positive")
+    freq = min(1.0, nr_accesses / max_nr_accesses)
+    # Ages beyond ~100 aggregations saturate.
+    age_score = min(1.0, age / 100.0)
+    if prefer_cold:
+        return (1.0 - freq) * 0.5 + age_score * 0.5
+    return freq * 0.5 + age_score * 0.5

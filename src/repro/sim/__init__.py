@@ -1,0 +1,70 @@
+"""Simulated machine substrate.
+
+The paper's artifact is a Linux-kernel patch set: the monitor reads and
+clears page-table accessed bits, the schemes engine calls into the mm
+subsystem (reclaim, THP promotion/demotion, madvise hints), and the
+evaluation runs on AWS EC2 bare-metal hosts with QEMU/KVM guests.  This
+package provides the synthetic equivalent of that whole substrate:
+
+* :mod:`repro.sim.clock` — discrete-event virtual time,
+* :mod:`repro.sim.machine` — the Table 2 instance catalog and guest VMs,
+* :mod:`repro.sim.vma` — VMAs and address spaces,
+* :mod:`repro.sim.pagetable` — page-granular state with accessed-bit
+  semantics,
+* :mod:`repro.sim.physmem` — frame allocation and the reverse map,
+* :mod:`repro.sim.swap` — ZRAM and file-backed swap devices,
+* :mod:`repro.sim.thp` — transparent-huge-page promotion/demotion,
+* :mod:`repro.sim.lru` — the two-list LRU reclaim baseline,
+* :mod:`repro.sim.costs` — the latency/cost model,
+* :mod:`repro.sim.kernel` — the façade tying the above together.
+"""
+
+from .clock import EventQueue, PeriodicEvent, VirtualClock
+from .costs import CostModel
+from .kernel import SimKernel
+from .lru import LruReclaimer
+from .machine import (
+    GuestSpec,
+    MachineSpec,
+    get_instance,
+    guest_of,
+    instance_catalog,
+    scaled_instance,
+)
+from .metrics import KernelMetrics, MemoryTimeline, RuntimeBreakdown
+from .pagetable import HUGE_PAGE_SIZE, PAGE_SIZE, PAGES_PER_HUGE, PageTable
+from .physmem import FrameTable
+from .swap import FileSwapDevice, NoSwapDevice, SwapDevice, ZramDevice
+from .thp import Khugepaged, ThpPolicy
+from .vma import VMA, AddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "CostModel",
+    "EventQueue",
+    "FileSwapDevice",
+    "FrameTable",
+    "GuestSpec",
+    "HUGE_PAGE_SIZE",
+    "KernelMetrics",
+    "Khugepaged",
+    "LruReclaimer",
+    "MachineSpec",
+    "MemoryTimeline",
+    "NoSwapDevice",
+    "PAGES_PER_HUGE",
+    "PAGE_SIZE",
+    "PageTable",
+    "PeriodicEvent",
+    "RuntimeBreakdown",
+    "SimKernel",
+    "SwapDevice",
+    "ThpPolicy",
+    "VMA",
+    "VirtualClock",
+    "ZramDevice",
+    "get_instance",
+    "guest_of",
+    "instance_catalog",
+    "scaled_instance",
+]

@@ -1,0 +1,136 @@
+"""The latency/cost model.
+
+Every performance number an experiment reports is assembled from the
+costs defined here.  The model is deliberately simple — the paper's
+claims are about *shapes* (who wins, where the crossover falls), not
+absolute latencies — but each constant is anchored to a published or
+widely quoted figure, noted inline.
+
+Per epoch, a workload's virtual runtime is::
+
+    cpu_work / cpu_scale                      (nominal compute)
+  + touches * dram_cost * tlb_factor          (memory stall)
+  + major_faults * swap_read_latency          (swap-ins)
+  + minor_faults * minor_fault_cost           (first-touch allocation)
+  + huge_promotions * thp_alloc_cost          (huge-page allocation)
+  + monitor_interference                      (shared-resource slowdown)
+
+The TLB factor is where THP's performance benefit appears: touches to
+huge-mapped memory skip most TLB-miss page walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Latency constants, all in microseconds unless noted."""
+
+    #: Average memory-stall contribution per counted touch, usec.  A
+    #: counted touch stands for a cache-missing access burst; ~0.1 us
+    #: corresponds to a handful of DRAM round-trips at ~90 ns each.
+    dram_cost_us: float = 0.1
+
+    #: Fraction of the memory-stall cost that is TLB-miss page walks and
+    #: is eliminated for huge-mapped memory.  Kwon et al. (Ingens) and
+    #: Panwar et al. (HawkEye) report application-level THP gains in the
+    #: 10-30% range for TLB-sensitive workloads; a 0.3 walk share bounds
+    #: the per-touch gain at 30%.
+    tlb_walk_share: float = 0.3
+
+    #: First-touch (minor) fault: allocate + zero a 4 KiB page.
+    minor_fault_us: float = 1.5
+
+    #: Synchronous major-fault handling on top of the swap device's own
+    #: latency: trap, page-table fix-up, TLB maintenance, queueing under
+    #: refault bursts.
+    major_fault_handler_us: float = 10.0
+
+    #: Allocating one 2 MiB huge page (compaction fast path).  Kwon et
+    #: al. measured multi-ms worst cases; we charge the common case.
+    thp_alloc_us: float = 60.0
+
+    #: CPU cost of one monitor access check: read + clear one PTE
+    #: accessed bit through a page-table walk plus region bookkeeping.
+    #: Calibrated so that running at the overhead ceiling (1000 regions
+    #: every 5 ms = 200k checks/s) costs ~2% of one CPU; workloads whose
+    #: adaptive region count settles lower cost proportionally less,
+    #: averaging out near the ~1.4% share §4.2 reports.
+    pte_check_us: float = 0.1
+
+    #: Fixed cost of one kdamond sampling wakeup: timer interrupt,
+    #: context switch, mmap_lock/rmap acquisition — paid every sampling
+    #: interval regardless of the region count.  At the paper's 5 ms
+    #: interval this alone is ~0.6% of one CPU, which together with the
+    #: per-check cost reproduces the ~1.4% §4.2 reports.
+    kdamond_wakeup_us: float = 30.0
+
+    #: Fraction of monitor CPU time that surfaces as workload slowdown
+    #: (accessed-bit clearing forces TLB shootdowns on the workload's
+    #: cores, so the interference is of the same order as the monitor's
+    #: own CPU time; the thread itself runs on a spare core).
+    monitor_interference: float = 1.0
+
+    def __post_init__(self):
+        for field in (
+            "dram_cost_us",
+            "minor_fault_us",
+            "major_fault_handler_us",
+            "thp_alloc_us",
+            "pte_check_us",
+            "kdamond_wakeup_us",
+        ):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"{field} must be non-negative")
+        if not 0.0 <= self.tlb_walk_share < 1.0:
+            raise ConfigError("tlb_walk_share must be in [0, 1)")
+        if not 0.0 <= self.monitor_interference <= 1.0:
+            raise ConfigError("monitor_interference must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def touch_cost_us(
+        self, touches: float, huge_fraction: float, tlb_scale: float = 1.0
+    ) -> float:
+        """Memory-stall time for ``touches`` counted touches, of which
+        ``huge_fraction`` hit huge-mapped memory.
+
+        ``tlb_scale`` scales the huge-page discount per workload: access
+        patterns with poor TLB locality (large strides, random chasing)
+        gain more from huge mappings than cache-friendly ones.
+        """
+        if not 0.0 <= huge_fraction <= 1.0:
+            raise ConfigError(f"huge_fraction must be in [0, 1]: {huge_fraction}")
+        if tlb_scale < 0:
+            raise ConfigError(f"tlb_scale cannot be negative: {tlb_scale}")
+        discount = min(0.95, self.tlb_walk_share * tlb_scale)
+        normal = touches * (1.0 - huge_fraction) * self.dram_cost_us
+        huge = touches * huge_fraction * self.dram_cost_us * (1.0 - discount)
+        return normal + huge
+
+    def minor_fault_cost_us(self, n: int) -> float:
+        """Allocation + zeroing cost of ``n`` first-touch faults."""
+        return n * self.minor_fault_us
+
+    def major_fault_overhead_us(self, n: int) -> float:
+        """Handler-side cost of ``n`` major faults (device latency is
+        charged separately by the swap device)."""
+        return n * self.major_fault_handler_us
+
+    def thp_alloc_cost_us(self, n: int) -> float:
+        """Allocation cost of ``n`` huge pages."""
+        return n * self.thp_alloc_us
+
+    def monitor_check_cost_us(self, n_checks: int, wakeups: int = 0) -> float:
+        """CPU time of ``n_checks`` access checks plus ``wakeups``
+        kdamond sampling wakeups."""
+        return n_checks * self.pte_check_us + wakeups * self.kdamond_wakeup_us
+
+    def interference_us(self, monitor_cpu_us: float) -> float:
+        """Workload slowdown attributable to monitor CPU time."""
+        return monitor_cpu_us * self.monitor_interference

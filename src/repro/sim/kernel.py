@@ -1,0 +1,575 @@
+"""The simulated kernel: the façade every other layer talks to.
+
+:class:`SimKernel` owns one guest's address space, physical frames, swap
+device and THP machinery, and exposes:
+
+* the **access path** used by workloads (:meth:`apply_access`,
+  :meth:`begin_epoch` / :meth:`end_epoch`) — faults, frame allocation,
+  LRU pressure reclaim, cost accounting;
+* the **management operations** used by scheme actions (:meth:`pageout`,
+  :meth:`madvise_hugepage`, :meth:`madvise_nohugepage`,
+  :meth:`madvise_cold`, :meth:`madvise_willneed`) — the Table 1 action
+  back-ends;
+* the **monitoring hooks** used by the Data Access Monitor
+  (:meth:`access_probabilities`, :meth:`charge_monitor_checks`).
+
+All latency charging flows through :class:`repro.sim.costs.CostModel`
+and lands in :class:`repro.sim.metrics.KernelMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, SwapFullError
+from .costs import CostModel
+from .lru import LruReclaimer
+from .machine import GuestSpec, MachineSpec, guest_of
+from .metrics import KernelMetrics
+from .pagetable import PAGE_SIZE, PAGES_PER_HUGE
+from .physmem import FrameTable
+from .swap import SwapDevice, ZramDevice
+from .thp import Khugepaged, ThpPolicy
+from .vma import VMA, AddressSpace
+
+__all__ = ["SimKernel"]
+
+#: Reclaim starts above this fraction of physical frames...
+_HIGH_WATERMARK = 0.96
+#: ...and stops once usage falls below this fraction.
+_LOW_WATERMARK = 0.92
+
+#: Fraction of swap-write latency charged to the workload: page-out I/O
+#: is mostly asynchronous writeback, but dirties shared queues.
+_ASYNC_WRITE_SHARE = 0.3
+
+
+class SimKernel:
+    """One guest VM's memory subsystem."""
+
+    def __init__(
+        self,
+        guest,
+        *,
+        swap: Optional[SwapDevice] = None,
+        costs: Optional[CostModel] = None,
+        thp: Optional[ThpPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ):
+        if isinstance(guest, MachineSpec):
+            guest = guest_of(guest)
+        if not isinstance(guest, GuestSpec):
+            raise ConfigError(f"expected GuestSpec or MachineSpec, got {guest!r}")
+        self.guest = guest
+        self.space = AddressSpace(name="workload")
+        self.frames = FrameTable(guest.dram_bytes)
+        self.swap = swap if swap is not None else ZramDevice()
+        self.costs = costs if costs is not None else CostModel()
+        self.thp_policy = thp if thp is not None else ThpPolicy(mode="never")
+        # Standalone scanner view of khugepaged (statistics/tests); the
+        # kernel's own khugepaged_scan() additionally handles frame
+        # allocation for the bloat pages.
+        self.khugepaged = Khugepaged(self.space, self.thp_policy)
+        self.lru = LruReclaimer(self.space)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.metrics = KernelMetrics()
+        self._vma_ids = {}  # VMA -> ordinal used in the frame table's rmap
+        self._oom_reclaim_failed = False
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def mmap(self, start: int, size: int, name: str = "") -> VMA:
+        """Map ``[start, start + size)`` and register it with the rmap."""
+        vma = self.space.mmap(start, size, name)
+        self._vma_ids[vma] = len(self._vma_ids)
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Tear a mapping down: frames freed, swap slots discarded."""
+        pt = vma.pages
+        resident = np.nonzero(pt.present)[0]
+        frames = pt.frame[resident]
+        frames = frames[frames >= 0]
+        if frames.size:
+            self.frames.release(frames)
+        swapped = pt.swapped_pages()
+        if swapped:
+            self.swap.discard(swapped)
+        self.space.munmap(vma)
+        del self._vma_ids[vma]
+
+    def _vma_id(self, vma: VMA) -> int:
+        return self._vma_ids[vma]
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle (driven by the workload runner)
+    # ------------------------------------------------------------------
+    def begin_epoch(self) -> None:
+        """Reset per-epoch touch rates before the workload declares new ones."""
+        self.space.clear_rates()
+
+    def apply_access(
+        self,
+        start: int,
+        end: int,
+        now: int,
+        epoch_us: int,
+        *,
+        fraction: float = 1.0,
+        touches_per_page: float = 1.0,
+        stride: int = 1,
+        stall_weight: float = 1.0,
+        tlb_scale: float = 1.0,
+        write_fraction: float = 0.0,
+    ) -> None:
+        """Apply one access burst: ``fraction`` of pages in
+        ``[start, end)`` touched ``touches_per_page`` times over the
+        epoch.  Handles faults, frame allocation, rate declaration and
+        latency accounting.
+
+        ``touches_per_page`` feeds the accessed-bit rate model (what the
+        monitor can see); the memory-stall *cost* is charged once per
+        touched page per epoch, scaled by ``stall_weight`` — the
+        workload's memory-boundedness knob.
+        """
+        if epoch_us <= 0:
+            raise ConfigError(f"epoch must be positive: {epoch_us}")
+        # Per-page rate for the accessed-bit model: strided bursts touch
+        # their stride set at full rate (the rate applies to those pages
+        # only), fractional bursts dilute the rate across the range.
+        if stride > 1:
+            rate = touches_per_page / (epoch_us / 1e6)
+        else:
+            rate = fraction * touches_per_page / (epoch_us / 1e6)
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            result = pt.touch_range(
+                lo,
+                hi,
+                now,
+                fraction=fraction,
+                touches=touches_per_page,
+                stride=stride,
+                write_fraction=write_fraction,
+                rng=self.rng,
+            )
+            touched = result["touched"]
+            if touched.size == 0:
+                pt.add_rate(lo, hi, rate, stride)
+                if write_fraction > 0.0:
+                    pt.add_write_rate(lo, hi, rate * write_fraction, stride)
+                continue
+
+            major = result["major"]
+            minor = result["minor"]
+            need_frames = major.size + minor.size
+            if need_frames:
+                self._ensure_frames(need_frames)
+                alloc_for = np.concatenate((major, minor)) if major.size and minor.size else (
+                    major if major.size else minor
+                )
+                new_frames = self.frames.allocate(
+                    alloc_for.size, self._vma_id(vma), alloc_for
+                )
+                pt.frame[alloc_for] = new_frames
+            if major.size:
+                latency = self.swap.load(major.size)
+                latency += self.costs.major_fault_overhead_us(major.size)
+                self.metrics.runtime.major_fault_us += latency
+                self.metrics.major_faults += major.size
+                self.metrics.pages_swapped_in += major.size
+            if minor.size:
+                self.metrics.runtime.minor_fault_us += self.costs.minor_fault_cost_us(
+                    minor.size
+                )
+                self.metrics.minor_faults += minor.size
+
+            # Memory-stall cost: touches hitting huge-mapped chunks are
+            # cheaper (TLB walks skipped).
+            total_touches = touched.size * stall_weight
+            if pt.chunk_huge.any():
+                huge_hits = pt.huge_mask(touched)
+                huge_fraction = float(np.count_nonzero(huge_hits)) / touched.size
+            else:
+                huge_fraction = 0.0
+            self.metrics.runtime.memory_stall_us += self.costs.touch_cost_us(
+                total_touches, huge_fraction, tlb_scale
+            )
+            pt.add_rate(lo, hi, rate, stride)
+            if write_fraction > 0.0:
+                pt.add_write_rate(lo, hi, rate * write_fraction, stride)
+
+    def end_epoch(self, now: int, compute_us: float) -> None:
+        """Close the epoch: charge nominal compute (already scaled by the
+        caller for CPU speed), run pressure reclaim, sample memory."""
+        self.metrics.runtime.compute_us += compute_us
+        self._pressure_reclaim(now)
+        self.sample_memory(now)
+
+    def sample_memory(self, now: int) -> None:
+        """Record an RSS/system-memory sample on the metrics timeline."""
+        self.metrics.memory.record(now, self.rss_bytes(), self.system_bytes())
+
+    # ------------------------------------------------------------------
+    # Pressure reclaim (the baseline's two-list LRU path)
+    # ------------------------------------------------------------------
+    def _ensure_frames(self, needed: int) -> None:
+        if self.frames.free_frames() >= needed:
+            return
+        deficit = needed - self.frames.free_frames()
+        self._reclaim(deficit, None)
+        if self.frames.free_frames() < needed:
+            raise SwapFullError(
+                "OOM: reclaim could not free enough frames "
+                f"(need {needed}, free {self.frames.free_frames()})"
+            )
+
+    def _pressure_reclaim(self, now: int) -> None:
+        high = int(self.frames.n_frames * _HIGH_WATERMARK)
+        if self.frames.allocated <= high or self._oom_reclaim_failed:
+            return
+        low = int(self.frames.n_frames * _LOW_WATERMARK)
+        self._reclaim(self.frames.allocated - low, now)
+
+    def _reclaim(self, n_pages: int, now) -> None:
+        """Evict up to ``n_pages`` LRU-cold pages to swap."""
+        budget = min(n_pages, self.swap.free_pages())
+        if budget <= 0:
+            self._oom_reclaim_failed = True
+            return
+        victims = self.lru.select_victims(budget, rng=self.rng)
+        for vma, idx in victims:
+            pt = vma.pages
+            frames = pt.frame[idx]
+            self.frames.release(frames[frames >= 0])
+            n_dirty = int(np.count_nonzero(pt.dirty[idx]))
+            pt.present[idx] = False
+            pt.swapped[idx] = True
+            pt.dirty[idx] = False
+            pt.frame[idx] = -1
+            latency = self.swap.store(idx.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += idx.size
+            self.metrics.pages_written_back += n_dirty
+            self.metrics.reclaim_evictions += idx.size
+
+    # ------------------------------------------------------------------
+    # Management operations (scheme-action back-ends; Table 1)
+    # ------------------------------------------------------------------
+    def pageout(self, start: int, end: int, now: int) -> int:
+        """PAGEOUT: immediately reclaim the address range.  Returns pages
+        paged out (0 if swap is full — reclaim silently stops, as
+        madvise_pageout does)."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            was_dirty = pt.dirty[lo:hi].copy()
+            candidates, _ = pt.pageout_range(lo, hi)
+            if candidates.size == 0:
+                continue
+            allowed = min(candidates.size, self.swap.free_pages())
+            if allowed < candidates.size:
+                # Roll the overflow back to present.
+                rollback = candidates[allowed:]
+                pt.present[rollback] = True
+                pt.swapped[rollback] = False
+                pt.dirty[rollback] = was_dirty[rollback - lo]
+                candidates = candidates[:allowed]
+            if candidates.size == 0:
+                continue
+            frames = pt.frame[candidates]
+            self.frames.release(frames[frames >= 0])
+            pt.frame[candidates] = -1
+            n_dirty = int(np.count_nonzero(was_dirty[candidates - lo]))
+            latency = self.swap.store(candidates.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += candidates.size
+            self.metrics.pages_written_back += n_dirty
+            total += candidates.size
+        return total
+
+    def madvise_willneed(self, start: int, end: int, now: int) -> int:
+        """WILLNEED: prefetch swapped pages back in (asynchronously, so
+        only a small share of the read latency reaches the workload)."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            idx = pt.swap_in_range(lo, hi)
+            if idx.size == 0:
+                continue
+            self._ensure_frames(idx.size)
+            new_frames = self.frames.allocate(idx.size, self._vma_id(vma), idx)
+            pt.frame[idx] = new_frames
+            latency = self.swap.load(idx.size)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_in += idx.size
+            total += idx.size
+        return total
+
+    # -- physical-address variants (rmap-based, like the paddr ops) ------
+    def _frames_in_range(self, start: int, end: int):
+        """Owned frames of the physical range, grouped by VMA:
+        ``[(vma, page_idx_array), ...]``."""
+        lo = max(0, start // PAGE_SIZE)
+        hi = min(self.frames.n_frames, -(-end // PAGE_SIZE))
+        if hi <= lo:
+            return []
+        frames = np.arange(lo, hi, dtype=np.int64)
+        owner_vma, owner_page = self.frames.owners(frames)
+        out = []
+        for ordinal, vma in enumerate(self._vma_ids):
+            sel = owner_page[owner_vma == ordinal]
+            if sel.size:
+                out.append((vma, sel))
+        return out
+
+    def pageout_phys(self, start: int, end: int, now: int) -> int:
+        """PAGEOUT on a physical address range: resolve the frames
+        through the rmap and reclaim the mapping pages."""
+        total = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            candidates = idx[pt.present[idx]]
+            if pt.chunk_huge.any():
+                candidates = candidates[~pt.huge_mask(candidates)]
+            allowed = min(candidates.size, self.swap.free_pages())
+            candidates = candidates[:allowed]
+            if candidates.size == 0:
+                continue
+            frames = pt.frame[candidates]
+            self.frames.release(frames[frames >= 0])
+            n_dirty = int(np.count_nonzero(pt.dirty[candidates]))
+            pt.present[candidates] = False
+            pt.swapped[candidates] = True
+            pt.bloat[candidates] = False
+            pt.dirty[candidates] = False
+            pt.frame[candidates] = -1
+            latency = self.swap.store(candidates.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += candidates.size
+            self.metrics.pages_written_back += n_dirty
+            total += int(candidates.size)
+        return total
+
+    def lru_prioritize_phys(self, start: int, end: int, now: int) -> int:
+        """LRU_PRIO on a physical range (rmap-resolved)."""
+        total = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            present = idx[pt.present[idx]]
+            pt.lru_gen[present] = 1
+            total += int(present.size)
+        return total
+
+    def lru_deprioritize_phys(self, start: int, end: int, now: int) -> int:
+        """LRU_DEPRIO on a physical range (rmap-resolved)."""
+        total = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            present = idx[pt.present[idx]]
+            pt.lru_gen[present] = -1
+            total += int(present.size)
+        return total
+
+    def lru_prioritize(self, start: int, end: int, now: int) -> int:
+        """LRU_PRIO: place the range's present pages in the protected
+        LRU class (active head) — the plain LRU, blind within its scan
+        buckets, would treat them like any other recent page."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.lru_gen[lo:hi][present] = 1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def lru_deprioritize(self, start: int, end: int, now: int) -> int:
+        """LRU_DEPRIO: place the range in the evict-first LRU class
+        (inactive tail)."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.lru_gen[lo:hi][present] = -1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def madvise_cold(self, start: int, end: int, now: int) -> int:
+        """COLD: deactivate the range — pages become first in line for
+        pressure reclaim by aging their recency to the epoch floor."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.last_touch[lo:hi][present] = np.iinfo(np.int64).min // 2 + 1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def _promote(self, vma, chunks: np.ndarray, now: int) -> int:
+        """Promote the given chunks of ``vma``: allocate frames for the
+        bloat pages, settle swap accounting, charge allocation latency."""
+        pt = vma.pages
+        promoted, new_idx, n_swapped = pt.promote_chunks(chunks, now)
+        if promoted.size == 0:
+            return 0
+        if new_idx.size:
+            self._ensure_frames(new_idx.size)
+            frames = self.frames.allocate(new_idx.size, self._vma_id(vma), new_idx)
+            pt.frame[new_idx] = frames
+        if n_swapped:
+            latency = self.swap.load(n_swapped)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_in += n_swapped
+        self.metrics.thp_bloat_pages += int(new_idx.size)
+        self.metrics.thp_promotions += int(promoted.size)
+        self.metrics.runtime.thp_alloc_us += self.costs.thp_alloc_cost_us(
+            int(promoted.size)
+        )
+        return int(promoted.size)
+
+    def madvise_hugepage(self, start: int, end: int, now: int) -> int:
+        """HUGEPAGE: promote every 2 MiB chunk fully inside the range that
+        has at least one present page.  Returns promotions performed."""
+        promotions = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            chunk_lo = -(-lo // PAGES_PER_HUGE)
+            chunk_hi = min(hi // PAGES_PER_HUGE, pt.n_chunks)
+            if chunk_hi <= chunk_lo:
+                continue
+            if pt.chunk_huge[chunk_lo:chunk_hi].all():
+                continue  # fast path: the whole span is already huge
+            candidates = np.arange(chunk_lo, chunk_hi, dtype=np.int64)
+            candidates = candidates[~pt.chunk_huge[chunk_lo:chunk_hi]]
+            if candidates.size == 0:
+                continue
+            pages = (
+                candidates[:, None] * PAGES_PER_HUGE + np.arange(PAGES_PER_HUGE)
+            ).ravel()
+            has_present = (
+                pt.present[pages].reshape(-1, PAGES_PER_HUGE).any(axis=1)
+            )
+            promotions += self._promote(vma, candidates[has_present], now)
+        return promotions
+
+    def madvise_nohugepage(self, start: int, end: int, now: int) -> int:
+        """NOHUGEPAGE: demote huge chunks in the range; subpages untouched
+        since promotion are freed (bloat recovery)."""
+        demotions = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            chunk_lo = lo // PAGES_PER_HUGE
+            chunk_hi = min(-(-hi // PAGES_PER_HUGE), pt.n_chunks)
+            if chunk_hi <= chunk_lo:
+                continue
+            if not pt.chunk_huge[chunk_lo:chunk_hi].any():
+                continue  # fast path: nothing huge in the span
+            candidates = np.arange(chunk_lo, chunk_hi, dtype=np.int64)
+            demoted, freed_idx = pt.demote_chunks(candidates, now)
+            if freed_idx.size:
+                frames = pt.frame[freed_idx]
+                self.frames.release(frames[frames >= 0])
+                pt.frame[freed_idx] = -1
+                self.metrics.thp_freed_pages += int(freed_idx.size)
+            self.metrics.thp_demotions += int(demoted.size)
+            demotions += int(demoted.size)
+        return demotions
+
+    # ------------------------------------------------------------------
+    # khugepaged (thp=always path)
+    # ------------------------------------------------------------------
+    def khugepaged_scan(self, now: int):
+        """One khugepaged pass; charges huge-page allocation latency and
+        allocates frames for the bloat pages."""
+        if self.thp_policy.mode != "always":
+            return {"promotions": 0, "bloat_pages": 0}
+        result = {"promotions": 0, "bloat_pages": 0}
+        threshold = self.thp_policy.min_present_pages
+        for vma in self.space.vmas:
+            pt = vma.pages
+            if pt.n_chunks == 0:
+                continue
+            present = pt.present[: pt.n_chunks * PAGES_PER_HUGE]
+            per_chunk = present.reshape(pt.n_chunks, PAGES_PER_HUGE).sum(axis=1)
+            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge)[0]
+            if eligible.size == 0:
+                continue
+            bloat_before = self.metrics.thp_bloat_pages
+            result["promotions"] += self._promote(vma, eligible, now)
+            result["bloat_pages"] += self.metrics.thp_bloat_pages - bloat_before
+        return result
+
+    # ------------------------------------------------------------------
+    # Monitoring hooks
+    # ------------------------------------------------------------------
+    def access_probabilities(self, addrs: np.ndarray, window_us: float) -> np.ndarray:
+        """P(accessed bit set) per sample address over ``window_us``.
+
+        Unmapped addresses have no PTE and read as never accessed.
+        """
+        vma_idx, page_idx, mapped = self.space.resolve(addrs)
+        probs = np.zeros(len(addrs), dtype=np.float64)
+        for ordinal, vma in enumerate(self.space.vmas):
+            sel = np.nonzero(vma_idx == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.access_probability(page_idx[sel], window_us)
+        return probs
+
+    def write_probabilities(self, addrs: np.ndarray, window_us: float) -> np.ndarray:
+        """P(dirty bit set) per sample address over ``window_us`` — the
+        write channel of the monitoring hooks."""
+        vma_idx, page_idx, mapped = self.space.resolve(addrs)
+        probs = np.zeros(len(addrs), dtype=np.float64)
+        for ordinal, vma in enumerate(self.space.vmas):
+            sel = np.nonzero(vma_idx == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.write_probability(page_idx[sel], window_us)
+        return probs
+
+    def frame_write_probabilities(
+        self, frames: np.ndarray, window_us: float
+    ) -> np.ndarray:
+        """Physical-space write-probability variant (rmap-resolved)."""
+        owner_vma, owner_page = self.frames.owners(frames)
+        probs = np.zeros(len(frames), dtype=np.float64)
+        for ordinal, vma in enumerate(self._vma_ids):
+            sel = np.nonzero(owner_vma == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.write_probability(owner_page[sel], window_us)
+        return probs
+
+    def frame_access_probabilities(
+        self, frames: np.ndarray, window_us: float
+    ) -> np.ndarray:
+        """Physical-space variant: resolve frames through the rmap."""
+        owner_vma, owner_page = self.frames.owners(frames)
+        probs = np.zeros(len(frames), dtype=np.float64)
+        for ordinal, vma in enumerate(self._vma_ids):
+            sel = np.nonzero(owner_vma == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.access_probability(owner_page[sel], window_us)
+        return probs
+
+    def charge_monitor_checks(self, n_checks: int, wakeups: int = 1) -> None:
+        """Account CPU time for one kdamond wakeup performing
+        ``n_checks`` accessed-bit checks, and pass the interference
+        share on to the workload's runtime."""
+        cpu = self.costs.monitor_check_cost_us(n_checks, wakeups)
+        self.metrics.monitor_checks += n_checks
+        self.metrics.monitor_cpu_us += cpu
+        self.metrics.runtime.monitor_interference_us += self.costs.interference_us(cpu)
+
+    # ------------------------------------------------------------------
+    # Accounting views
+    # ------------------------------------------------------------------
+    def rss_bytes(self) -> int:
+        """The workload's resident set size."""
+        return self.space.resident_bytes()
+
+    def system_bytes(self) -> int:
+        """RSS plus the swap device's DRAM overhead (ZRAM store)."""
+        return self.rss_bytes() + self.swap.dram_overhead_bytes()

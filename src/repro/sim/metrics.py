@@ -1,0 +1,148 @@
+"""Runtime and memory accounting for one simulated run.
+
+Separates the two quantities every experiment in the paper reports:
+
+* **performance** — the workload's virtual runtime, decomposed into
+  compute, memory stall, fault service, THP allocation, and monitor
+  interference so benchmarks can explain *why* a configuration won;
+* **memory** — time-averaged and peak RSS, plus "system" memory which
+  also counts the ZRAM store (a page compressed into ZRAM still occupies
+  DRAM; the Figure 9 comparison between ZRAM and file swap hinges on
+  this distinction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RuntimeBreakdown", "MemoryTimeline", "KernelMetrics"]
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Accumulated workload time, all in microseconds."""
+
+    compute_us: float = 0.0
+    memory_stall_us: float = 0.0
+    major_fault_us: float = 0.0
+    minor_fault_us: float = 0.0
+    swapout_us: float = 0.0
+    thp_alloc_us: float = 0.0
+    monitor_interference_us: float = 0.0
+
+    def total_us(self) -> float:
+        """The workload's virtual runtime: the sum of all components."""
+        return (
+            self.compute_us
+            + self.memory_stall_us
+            + self.major_fault_us
+            + self.minor_fault_us
+            + self.swapout_us
+            + self.thp_alloc_us
+            + self.monitor_interference_us
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dict (benchmarks serialise this)."""
+        return {
+            "compute_us": self.compute_us,
+            "memory_stall_us": self.memory_stall_us,
+            "major_fault_us": self.major_fault_us,
+            "minor_fault_us": self.minor_fault_us,
+            "swapout_us": self.swapout_us,
+            "thp_alloc_us": self.thp_alloc_us,
+            "monitor_interference_us": self.monitor_interference_us,
+            "total_us": self.total_us(),
+        }
+
+
+@dataclass
+class MemoryTimeline:
+    """Time-weighted RSS/system-memory statistics.
+
+    ``record(now, rss, system)`` must be called with non-decreasing
+    timestamps; averages weight each sample by the time until the next.
+    """
+
+    last_time: int = -1
+    last_rss: int = 0
+    last_system: int = 0
+    weighted_rss: float = 0.0
+    weighted_system: float = 0.0
+    elapsed: int = 0
+    peak_rss: int = 0
+    peak_system: int = 0
+    samples: int = 0
+
+    def record(self, now: int, rss_bytes: int, system_bytes: int) -> None:
+        """Append one sample; weights the previous one by the elapsed time."""
+        if self.last_time >= 0:
+            dt = now - self.last_time
+            if dt < 0:
+                raise ValueError("memory samples must be time-ordered")
+            self.weighted_rss += self.last_rss * dt
+            self.weighted_system += self.last_system * dt
+            self.elapsed += dt
+        self.last_time = now
+        self.last_rss = rss_bytes
+        self.last_system = system_bytes
+        self.peak_rss = max(self.peak_rss, rss_bytes)
+        self.peak_system = max(self.peak_system, system_bytes)
+        self.samples += 1
+
+    def avg_rss(self) -> float:
+        """Time-weighted mean RSS over the recorded timeline."""
+        if self.elapsed == 0:
+            return float(self.last_rss)
+        return self.weighted_rss / self.elapsed
+
+    def avg_system(self) -> float:
+        """Time-weighted mean system memory (RSS + swap-store DRAM)."""
+        if self.elapsed == 0:
+            return float(self.last_system)
+        return self.weighted_system / self.elapsed
+
+
+@dataclass
+class KernelMetrics:
+    """Everything the kernel façade counts during a run."""
+
+    runtime: RuntimeBreakdown = field(default_factory=RuntimeBreakdown)
+    memory: MemoryTimeline = field(default_factory=MemoryTimeline)
+    major_faults: int = 0
+    minor_faults: int = 0
+    pages_swapped_out: int = 0
+    pages_swapped_in: int = 0
+    #: Dirty pages that actually needed writeback on swap-out (the
+    #: read/write-asymmetry accounting of the write-awareness extension).
+    pages_written_back: int = 0
+    thp_promotions: int = 0
+    thp_demotions: int = 0
+    thp_bloat_pages: int = 0
+    thp_freed_pages: int = 0
+    reclaim_evictions: int = 0
+    monitor_checks: int = 0
+    monitor_cpu_us: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters plus the runtime breakdown, as a flat dict."""
+        out: Dict[str, float] = {
+            "major_faults": self.major_faults,
+            "minor_faults": self.minor_faults,
+            "pages_swapped_out": self.pages_swapped_out,
+            "pages_swapped_in": self.pages_swapped_in,
+            "pages_written_back": self.pages_written_back,
+            "thp_promotions": self.thp_promotions,
+            "thp_demotions": self.thp_demotions,
+            "thp_bloat_pages": self.thp_bloat_pages,
+            "thp_freed_pages": self.thp_freed_pages,
+            "reclaim_evictions": self.reclaim_evictions,
+            "monitor_checks": self.monitor_checks,
+            "monitor_cpu_us": self.monitor_cpu_us,
+            "avg_rss_bytes": self.memory.avg_rss(),
+            "peak_rss_bytes": float(self.memory.peak_rss),
+            "avg_system_bytes": self.memory.avg_system(),
+        }
+        out.update(self.runtime.as_dict())
+        return out

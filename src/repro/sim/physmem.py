@@ -1,0 +1,110 @@
+"""Physical frame accounting and the reverse map.
+
+The physical-address monitoring primitive (the paper's ``prec``
+configuration) monitors the guest's whole physical address space and uses
+the kernel's reverse map (rmap) to find, for a physical frame, the page
+table entry that maps it.  :class:`FrameTable` provides the synthetic
+equivalents: a frame allocator plus ``frame → (vma, page)`` owner arrays.
+
+The free list is an array-backed stack so that allocating or releasing
+millions of frames (a multi-GiB workload's first-touch epoch) is a single
+slice operation, never a per-frame Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import AddressSpaceError, ConfigError
+from .pagetable import PAGE_SIZE
+
+__all__ = ["FrameTable"]
+
+
+class FrameTable:
+    """Allocator and reverse map over ``capacity_bytes`` of physical memory.
+
+    Frames are handed out lowest-first from boot, which mirrors the
+    tendency of a fresh guest to fill physical memory roughly in order
+    and keeps the physical-address monitor's region picture contiguous.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < PAGE_SIZE:
+            raise ConfigError(f"capacity below one page: {capacity_bytes}")
+        self.n_frames = capacity_bytes // PAGE_SIZE
+        # Owner arrays: index = frame number. -1 = free.
+        self.owner_vma = np.full(self.n_frames, -1, dtype=np.int64)
+        self.owner_page = np.full(self.n_frames, -1, dtype=np.int64)
+        # Never-allocated frames are [_next_fresh, n_frames); released
+        # frames sit in the recycled stack [0, _recycled_top).
+        self._next_fresh = 0
+        self._recycled = np.empty(self.n_frames, dtype=np.int64)
+        self._recycled_top = 0
+        self.allocated = 0
+        #: High-water mark, for reporting.
+        self.peak_allocated = 0
+
+    # ------------------------------------------------------------------
+    def free_frames(self) -> int:
+        """Unallocated frame count."""
+        return self.n_frames - self.allocated
+
+    def allocate(self, count: int, vma_id: int, page_idx: np.ndarray) -> np.ndarray:
+        """Allocate ``count`` frames owned by pages ``page_idx`` of VMA
+        ``vma_id``.  Raises :class:`AddressSpaceError` when physical
+        memory is exhausted — the kernel façade triggers reclaim before
+        letting that happen."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if count > self.free_frames():
+            raise AddressSpaceError(
+                f"out of physical memory: need {count}, free {self.free_frames()}"
+            )
+        from_recycled = min(count, self._recycled_top)
+        parts = []
+        if from_recycled:
+            self._recycled_top -= from_recycled
+            parts.append(
+                self._recycled[self._recycled_top : self._recycled_top + from_recycled].copy()
+            )
+        fresh = count - from_recycled
+        if fresh:
+            parts.append(
+                np.arange(self._next_fresh, self._next_fresh + fresh, dtype=np.int64)
+            )
+            self._next_fresh += fresh
+        frames = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        self.owner_vma[frames] = vma_id
+        self.owner_page[frames] = np.asarray(page_idx, dtype=np.int64)
+        self.allocated += count
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+        return frames
+
+    def release(self, frames: np.ndarray) -> None:
+        """Return frames to the free list."""
+        frames = np.asarray(frames, dtype=np.int64)
+        if frames.size == 0:
+            return
+        if (self.owner_vma[frames] < 0).any():
+            raise AddressSpaceError("double free of a physical frame")
+        self.owner_vma[frames] = -1
+        self.owner_page[frames] = -1
+        top = self._recycled_top
+        self._recycled[top : top + frames.size] = frames
+        self._recycled_top = top + frames.size
+        self.allocated -= frames.size
+
+    # ------------------------------------------------------------------
+    def owners(self, frames: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """rmap lookup: ``(vma_id, page_idx)`` per frame; -1 entries are free."""
+        frames = np.asarray(frames, dtype=np.int64)
+        if frames.size and (int(frames.max()) >= self.n_frames or int(frames.min()) < 0):
+            raise AddressSpaceError("frame number out of range")
+        return self.owner_vma[frames], self.owner_page[frames]
+
+    def span_bytes(self) -> int:
+        """Size of the physical address space in bytes."""
+        return self.n_frames * PAGE_SIZE

@@ -1,0 +1,90 @@
+"""Transparent huge pages: the khugepaged promotion model.
+
+With ``thp=always`` the Linux khugepaged daemon scans mapped memory and
+collapses any 2 MiB-aligned range with a minimum number of present pages
+into a huge page — aggressively, which is exactly the memory-bloat
+behaviour Kwon et al. diagnosed and the paper's ``ethp`` scheme fixes.
+The collapse makes the whole 2 MiB resident (internal fragmentation =
+bloat); the reward is cheaper TLB behaviour for touches to the chunk.
+
+This module models khugepaged as a periodic scan over each address
+space; DAMOS's HUGEPAGE/NOHUGEPAGE actions bypass it and promote/demote
+directly through the page table (see :mod:`repro.schemes.actions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .pagetable import PAGES_PER_HUGE
+from .vma import AddressSpace
+
+__all__ = ["ThpPolicy", "Khugepaged"]
+
+
+@dataclass
+class ThpPolicy:
+    """THP configuration knob, mirroring /sys/kernel/mm/transparent_hugepage.
+
+    ``mode`` is one of:
+
+    * ``"never"``  — no promotion at all (the paper's baseline),
+    * ``"always"`` — khugepaged collapses eagerly (the ``thp`` config),
+    * ``"madvise"``— only ranges explicitly advised (what DAMOS uses).
+    """
+
+    mode: str = "never"
+    #: Minimum present 4 KiB pages in a chunk before khugepaged collapses
+    #: it.  Linux's default max_ptes_none=511 effectively allows collapse
+    #: with a single present page; we default to 64 (12.5% utilisation) as
+    #: a middle ground that still produces pronounced bloat.
+    min_present_pages: int = 64
+
+    def __post_init__(self):
+        if self.mode not in ("never", "always", "madvise"):
+            raise ConfigError(f"unknown THP mode: {self.mode!r}")
+        if not 1 <= self.min_present_pages <= PAGES_PER_HUGE:
+            raise ConfigError(
+                f"min_present_pages must be in [1, {PAGES_PER_HUGE}]"
+            )
+
+
+class Khugepaged:
+    """Periodic collapse scanner over one address space.
+
+    ``scan(now)`` promotes every eligible chunk and returns the number of
+    promotions plus the number of pages that became newly resident (the
+    bloat increment), so the kernel façade can charge allocation latency
+    and track footprint.
+    """
+
+    def __init__(self, space: AddressSpace, policy: ThpPolicy):
+        self.space = space
+        self.policy = policy
+        self.total_promotions = 0
+        self.total_bloat_pages = 0
+
+    def scan(self, now: int):
+        """One khugepaged pass.  No-op unless policy mode is ``always``."""
+        if self.policy.mode != "always":
+            return {"promotions": 0, "bloat_pages": 0}
+        promotions = 0
+        bloat_pages = 0
+        threshold = self.policy.min_present_pages
+        for vma in self.space.vmas:
+            pt = vma.pages
+            full_chunks = pt.n_pages // PAGES_PER_HUGE
+            if full_chunks == 0:
+                continue
+            present = pt.present[: full_chunks * PAGES_PER_HUGE]
+            per_chunk = present.reshape(full_chunks, PAGES_PER_HUGE).sum(axis=1)
+            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge[:full_chunks])[0]
+            for chunk in eligible:
+                bloat_pages += pt.promote_chunk(int(chunk), now)
+                promotions += 1
+        self.total_promotions += promotions
+        self.total_bloat_pages += bloat_pages
+        return {"promotions": promotions, "bloat_pages": bloat_pages}

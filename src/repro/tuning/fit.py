@@ -1,0 +1,92 @@
+"""Trend estimation: polynomial fitting and gradient peak search (§3.5).
+
+"To get the relationship while mitigating the random score noise, we use
+polynomial curve fitting.  The degree is set as nr_samples/3 to avoid
+over-fitting.  On the fitted curve, the system finds peaks using
+gradients and finally applies the configuration of the peak having the
+highest score."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TuningError
+
+__all__ = ["TrendEstimate", "estimate_trend", "find_peaks"]
+
+
+@dataclass(frozen=True)
+class TrendEstimate:
+    """A fitted score-vs-aggressiveness curve."""
+
+    coefficients: Tuple[float, ...]  # numpy polyfit order (highest first)
+    lo: float
+    hi: float
+    degree: int
+
+    def __call__(self, x) -> np.ndarray:
+        return np.polyval(self.coefficients, x)
+
+    def grid(self, n: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the fitted curve on an ``n``-point grid (plotting)."""
+        xs = np.linspace(self.lo, self.hi, n)
+        return xs, self(xs)
+
+
+def fit_degree(nr_samples: int) -> int:
+    """The paper's over-fitting guard: degree = nr_samples / 3."""
+    return max(1, nr_samples // 3)
+
+
+def estimate_trend(
+    xs: Sequence[float], scores: Sequence[float], lo: float, hi: float
+) -> TrendEstimate:
+    """Least-squares polynomial fit over the collected samples."""
+    xs = np.asarray(xs, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if xs.shape != scores.shape or xs.ndim != 1:
+        raise TuningError("xs and scores must be equal-length 1-D sequences")
+    if xs.size < 2:
+        raise TuningError(f"need at least 2 samples to fit, got {xs.size}")
+    degree = min(fit_degree(xs.size), xs.size - 1)
+    # Normalise x into [0, 1] for conditioning, then absorb the transform
+    # back into evaluation via the stored range.
+    if hi <= lo:
+        raise TuningError(f"empty fit range [{lo}, {hi}]")
+    with np.errstate(all="ignore"):
+        coeffs = np.polyfit((xs - lo) / (hi - lo), scores, degree)
+    return _ScaledTrend(tuple(float(c) for c in coeffs), lo, hi, degree)
+
+
+class _ScaledTrend(TrendEstimate):
+    """Trend whose polynomial lives in normalised coordinates."""
+
+    def __call__(self, x) -> np.ndarray:
+        t = (np.asarray(x, dtype=np.float64) - self.lo) / (self.hi - self.lo)
+        return np.polyval(self.coefficients, t)
+
+
+def find_peaks(trend: TrendEstimate) -> List[Tuple[float, float]]:
+    """Peaks of the fitted curve via its gradient's roots.
+
+    Returns ``[(x, score), ...]`` sorted by score descending; range
+    endpoints are always candidates (the best configuration can sit at
+    zero or maximum aggressiveness — Figure 3 patterns 1 and 6).
+    """
+    poly = np.asarray(trend.coefficients, dtype=np.float64)
+    candidates_t = [0.0, 1.0]
+    if poly.size > 1:
+        derivative = np.polyder(poly)
+        roots = np.roots(derivative) if derivative.size > 1 else np.array([])
+        for root in np.atleast_1d(roots):
+            if abs(root.imag) < 1e-9 and 0.0 <= root.real <= 1.0:
+                candidates_t.append(float(root.real))
+    span = trend.hi - trend.lo
+    xs = [trend.lo + t * span for t in candidates_t]
+    scored = [(x, float(trend(x))) for x in xs]
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return scored

@@ -1,0 +1,79 @@
+"""Score functions: one number from (performance, memory efficiency).
+
+The paper's Listing 2, verbatim in spirit::
+
+    pscore = -1 * (runtime / orig_runtime - 1)
+    mscore = -1 * (rss / orig_rss - 1)
+    if pscore > -0.1:                 # SLA: at most 10% slowdown
+        score = 0.5 * pscore + 0.5 * mscore
+        prev_scores.append(score)
+        return score
+    return min(prev_scores)
+
+The SLA clamp is what steers the tuner away from thrashing
+configurations: any sample violating the SLA scores *worse than every
+sample seen so far*, so the fitted curve collapses on that side.
+
+Scores are reported ×100 (percent points) to match the Figure 4/8 axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import TuningError
+
+__all__ = ["ScoreFunction", "default_score_function"]
+
+
+@dataclass
+class ScoreFunction:
+    """Weighted performance/memory score with an SLA floor.
+
+    ``perf_weight`` and ``memory_weight`` express the user's preference;
+    ``max_slowdown`` is the SLA (0.1 = "no more than 10% performance
+    drop").  The object is stateful across one tuning session: SLA
+    violations return the worst score seen so far (Listing 2's
+    ``min(prev_scores)``), or ``floor`` if nothing has been seen yet.
+    """
+
+    perf_weight: float = 0.5
+    memory_weight: float = 0.5
+    max_slowdown: float = 0.1
+    scale: float = 100.0
+    floor: float = -100.0
+    prev_scores: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.perf_weight < 0 or self.memory_weight < 0:
+            raise TuningError("score weights must be non-negative")
+        if self.perf_weight + self.memory_weight == 0:
+            raise TuningError("at least one score weight must be positive")
+        if self.max_slowdown < 0:
+            raise TuningError("max_slowdown must be non-negative")
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, runtime_us: float, rss_bytes: float, orig_runtime_us: float, orig_rss_bytes: float
+    ) -> float:
+        if orig_runtime_us <= 0 or orig_rss_bytes <= 0:
+            raise TuningError("baseline runtime and RSS must be positive")
+        pscore = -1.0 * (runtime_us / orig_runtime_us - 1.0)
+        mscore = -1.0 * (rss_bytes / orig_rss_bytes - 1.0)
+        if pscore > -self.max_slowdown:
+            score = (self.perf_weight * pscore + self.memory_weight * mscore) * self.scale
+            self.prev_scores.append(score)
+            return score
+        if self.prev_scores:
+            return min(self.prev_scores)
+        return self.floor
+
+    def reset(self) -> None:
+        """Clear session state (call between tuning sessions)."""
+        self.prev_scores.clear()
+
+
+def default_score_function() -> ScoreFunction:
+    """The paper's Listing 2: equal weights, 10% slowdown SLA."""
+    return ScoreFunction()

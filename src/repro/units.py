@@ -1,0 +1,214 @@
+"""Size, time and percentage units used throughout the system.
+
+The DAOS scheme text format (paper Listings 1 and 3) expresses the seven
+scheme fields with human-oriented units: byte sizes (``4K``, ``2MB``),
+access-frequency percentages (``80%``), and ages as wall-clock durations
+(``5s``, ``2m``).  This module is the single authority for parsing and
+formatting those units.
+
+Internally the library uses:
+
+* **bytes** (``int``) for sizes,
+* **microseconds** (``int``) for times — the virtual clock tick,
+* **per-aggregation sample counts** (``int``) for access frequencies,
+  with percentages resolved against the number of samples per
+  aggregation interval at parse time.
+
+``min`` and ``max`` keywords map to 0 and :data:`UNLIMITED` respectively.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ParseError
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "MINUTE",
+    "HOUR",
+    "UNLIMITED",
+    "parse_size",
+    "parse_time",
+    "parse_percent",
+    "format_size",
+    "format_time",
+]
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+#: One microsecond: the base unit of virtual time.
+USEC = 1
+MSEC = 1000 * USEC
+SEC = 1000 * MSEC
+MINUTE = 60 * SEC
+HOUR = 60 * MINUTE
+
+#: Sentinel for "no upper bound" in scheme fields.  Chosen to fit in an
+#: int64 so it can live in NumPy arrays alongside real values.
+UNLIMITED = (1 << 62) - 1
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+    "T": TIB,
+    "TB": TIB,
+    "TIB": TIB,
+}
+
+_TIME_SUFFIXES = {
+    "US": USEC,
+    "USEC": USEC,
+    "MS": MSEC,
+    "MSEC": MSEC,
+    "S": SEC,
+    "SEC": SEC,
+    "M": MINUTE,
+    "MIN": MINUTE,
+    "H": HOUR,
+    "HR": HOUR,
+}
+
+_NUM_RE = re.compile(r"^([0-9]*\.?[0-9]+)\s*([A-Za-z]*)$")
+
+
+def _parse_with_suffixes(text, suffixes, kind):
+    """Parse ``text`` as ``<number><suffix>`` using the given suffix map."""
+    if not isinstance(text, str):
+        raise ParseError(f"expected a string for {kind}, got {type(text).__name__}")
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "min":
+        return 0
+    if lowered == "max":
+        return UNLIMITED
+    match = _NUM_RE.match(stripped)
+    if match is None:
+        raise ParseError(f"malformed {kind} value: {text!r}")
+    number, suffix = match.groups()
+    key = suffix.upper()
+    if key not in suffixes:
+        raise ParseError(f"unknown {kind} suffix {suffix!r} in {text!r}")
+    value = float(number) * suffixes[key]
+    # Fractional inputs ("1.5K", "0.5s") are welcome; sub-unit residue
+    # is rounded to the nearest whole byte/microsecond.
+    return int(round(value))
+
+
+def parse_size(text):
+    """Parse a byte-size string such as ``"4K"``, ``"2MB"``, ``"1.5GiB"``.
+
+    ``"min"`` parses to 0 and ``"max"`` to :data:`UNLIMITED`.
+    A bare number is taken as bytes.
+    """
+    return _parse_with_suffixes(text, _SIZE_SUFFIXES, "size")
+
+
+def parse_time(text):
+    """Parse a duration string such as ``"5ms"``, ``"2m"``, ``"100us"``.
+
+    Returns microseconds.  A bare number is rejected: durations must carry
+    an explicit unit because the paper mixes seconds and minutes freely.
+    ``"min"`` parses to 0 and ``"max"`` to :data:`UNLIMITED` — the paper's
+    scheme grammar uses the same keywords for every field.
+    """
+    if isinstance(text, str) and text.strip().lower() not in ("min", "max"):
+        match = _NUM_RE.match(text.strip())
+        if match is not None and match.group(2) == "":
+            raise ParseError(f"duration {text!r} lacks a unit (us/ms/s/m/h)")
+    return _parse_with_suffixes(text, _TIME_SUFFIXES, "time")
+
+
+def parse_percent(text):
+    """Parse a percentage string such as ``"80%"`` into a float in [0, 1].
+
+    ``"min"`` maps to 0.0 and ``"max"`` to 1.0.  Plain numbers without a
+    percent sign are treated as raw per-aggregation access counts and are
+    returned as negative integers so the caller can distinguish them; the
+    scheme parser resolves them against the sampling configuration.
+    """
+    if not isinstance(text, str):
+        raise ParseError(f"expected a string for percent, got {type(text).__name__}")
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "min":
+        return 0.0
+    if lowered == "max":
+        return 1.0
+    if stripped.endswith("%"):
+        body = stripped[:-1].strip()
+        try:
+            value = float(body)
+        except ValueError:
+            raise ParseError(f"malformed percentage: {text!r}") from None
+        if not 0.0 <= value <= 100.0:
+            raise ParseError(f"percentage out of range [0, 100]: {text!r}")
+        return value / 100.0
+    try:
+        raw = float(stripped)
+    except ValueError:
+        raise ParseError(f"malformed percentage or count: {text!r}") from None
+    if raw < 0:
+        raise ParseError(f"access count must be non-negative: {text!r}")
+    if raw != int(raw):
+        raise ParseError(f"raw access count must be an integer: {text!r}")
+    return -int(raw) - 1  # encode raw count n as -(n + 1)
+
+
+def decode_raw_count(encoded):
+    """Invert the raw-count encoding of :func:`parse_percent`."""
+    if encoded >= 0:
+        raise ParseError("value is a fraction, not an encoded raw count")
+    return -int(encoded) - 1
+
+
+def format_size(nbytes):
+    """Render a byte count with the largest exact binary suffix."""
+    if nbytes == UNLIMITED:
+        return "max"
+    if nbytes < 0:
+        raise ParseError(f"negative size: {nbytes}")
+    for suffix, factor in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+    if nbytes >= GIB:
+        return f"{nbytes / GIB:.2f}GiB"
+    if nbytes >= MIB:
+        return f"{nbytes / MIB:.2f}MiB"
+    if nbytes >= KIB:
+        return f"{nbytes / KIB:.2f}KiB"
+    return f"{nbytes}B"
+
+
+def format_time(usecs):
+    """Render a duration in the most natural unit."""
+    if usecs == UNLIMITED:
+        return "max"
+    if usecs < 0:
+        raise ParseError(f"negative duration: {usecs}")
+    for suffix, factor in (("h", HOUR), ("m", MINUTE), ("s", SEC), ("ms", MSEC)):
+        if usecs >= factor and usecs % factor == 0:
+            return f"{usecs // factor}{suffix}"
+    if usecs >= SEC:
+        return f"{usecs / SEC:.3f}s"
+    if usecs >= MSEC:
+        return f"{usecs / MSEC:.3f}ms"
+    return f"{usecs}us"

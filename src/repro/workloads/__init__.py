@@ -1,0 +1,40 @@
+"""Synthetic access-pattern models of the evaluation workloads.
+
+The paper evaluates on 24 realistic workloads from Parsec3 and Splash-2x
+plus a commercial serverless production system.  Running the real suites
+requires the binaries and hours of machine time; what every experiment
+actually consumes, though, is only their *data access patterns* — which
+this package models per workload: footprint, hot-set structure,
+streaming/cyclic phases, re-touch periods, memory-boundedness and
+huge-page density, calibrated against the heatmaps of Figure 6 and the
+per-workload effects of Figures 4, 7 and 8.
+"""
+
+from .base import Burst, Workload, WorkloadSpec
+from .patterns import (
+    ColdInit,
+    CyclicSweep,
+    Hotspot,
+    LinearStream,
+    OnOffHotspot,
+    PhasedHotspot,
+    RandomAccess,
+)
+from .registry import all_workloads, get_workload, parsec_names, splash_names
+
+__all__ = [
+    "Burst",
+    "ColdInit",
+    "CyclicSweep",
+    "Hotspot",
+    "LinearStream",
+    "OnOffHotspot",
+    "PhasedHotspot",
+    "RandomAccess",
+    "Workload",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "parsec_names",
+    "splash_names",
+]

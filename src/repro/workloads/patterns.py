@@ -1,0 +1,333 @@
+"""Pattern components: the building blocks of workload access models.
+
+Each component reproduces one visual/structural element of the Figure 6
+heatmaps:
+
+* :class:`Hotspot` — a horizontal hot band (canneal's small hot set);
+* :class:`CyclicSweep` — repeating diagonal stripes (ocean's per-timestep
+  grid sweeps, fluidanimate's frames);
+* :class:`LinearStream` — one diagonal across the whole run (dedup,
+  x264, vips single-pass pipelines);
+* :class:`PhasedHotspot` — a hot band that jumps (fft's transpose
+  phases, splash raytrace);
+* :class:`ColdInit` — data written once at start and never revisited
+  (freqmine's candidate structures — the 91% reclaim opportunity);
+* :class:`RandomAccess` — uniform background noise (pointer chasing).
+
+``touches_per_sec`` values are per *page*; hundreds-to-thousands mark
+DRAM-level hot pages (the monitor saturates its per-aggregation counter
+on them), single digits mark warm data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError
+from ..sim.pagetable import PAGE_SIZE
+from ..units import SEC
+from .base import Burst, PatternComponent
+
+__all__ = [
+    "Hotspot",
+    "CyclicSweep",
+    "LinearStream",
+    "OnOffHotspot",
+    "PhasedHotspot",
+    "ColdInit",
+    "RandomAccess",
+]
+
+
+def _pages(nbytes: int) -> float:
+    return nbytes / PAGE_SIZE
+
+
+@dataclass
+class Hotspot(PatternComponent):
+    """A stable hot range; ``stride`` > 1 makes it sparse (one resident
+    page per ``stride`` — the THP bloat scenario)."""
+
+    offset: int = 0
+    size: int = 0
+    touches_per_sec: float = 2000.0
+    stride: int = 1
+    #: Share of touches that write (dirty) their pages.
+    write_fraction: float = 0.0
+
+    def __post_init__(self):
+        self._check()
+        if self.touches_per_sec <= 0:
+            raise ConfigError("hotspot touch rate must be positive")
+        if self.stride < 1:
+            raise ConfigError(f"stride must be >= 1: {self.stride}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigError("write_fraction must be in [0, 1]")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        return [
+            Burst(
+                0,
+                self.size,
+                stride=self.stride,
+                touches_per_page=self.touches_per_sec * epoch_us / 1e6,
+                write_fraction=self.write_fraction,
+            )
+        ]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        return _pages(self.size) / self.stride
+
+
+@dataclass
+class CyclicSweep(PatternComponent):
+    """A window sweeping the range once per ``period_us``, forever.
+
+    ``active_share`` < 1 compresses each sweep into the first part of
+    the period, leaving the data idle for the rest — this idle gap is
+    what a reclamation scheme's ``min_age`` races against: pages idle
+    longer than ``min_age`` get paged out and fault back on the next
+    sweep.
+    """
+
+    offset: int = 0
+    size: int = 0
+    period_us: int = 5 * SEC
+    active_share: float = 1.0
+    touches_per_sec: float = 400.0
+    #: > 1 touches every ``stride``-th page of the window — non-contiguous
+    #: partitioning (ocean_ncp), the prime THP-bloat shape.
+    stride: int = 1
+    #: Memory-stall weight per swept page (numeric kernels make many DRAM
+    #: accesses per page per pass).
+    stall_boost: float = 1.0
+
+    def __post_init__(self):
+        self._check()
+        if self.period_us <= 0:
+            raise ConfigError("sweep period must be positive")
+        if not 0.0 < self.active_share <= 1.0:
+            raise ConfigError("active_share must be in (0, 1]")
+        if self.stride < 1:
+            raise ConfigError(f"stride must be >= 1: {self.stride}")
+        if self.stall_boost < 0:
+            raise ConfigError("stall_boost cannot be negative")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        phase = t_us % self.period_us
+        active_us = self.period_us * self.active_share
+        if phase >= active_us:
+            return []
+        # Window covered during this epoch, page-aligned, wrapping never
+        # (one sweep per period by construction).
+        frac_start = phase / active_us
+        frac_end = min(1.0, (phase + epoch_us) / active_us)
+        start = int(frac_start * self.size) & ~(PAGE_SIZE - 1)
+        end = min(self.size, -(-int(frac_end * self.size) // PAGE_SIZE) * PAGE_SIZE)
+        if end <= start:
+            return []
+        return [
+            Burst(
+                start,
+                end,
+                stride=self.stride,
+                touches_per_page=self.touches_per_sec * epoch_us / 1e6,
+                weight=self.stall_boost,
+            )
+        ]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        # Amortised over the whole period: one full sweep per period,
+        # in stall-weighted page units.
+        return _pages(self.size) * epoch_us / self.period_us / self.stride * self.stall_boost
+
+
+@dataclass
+class LinearStream(PatternComponent):
+    """A single pass over the range across ``span_us`` (the diagonal in
+    dedup/x264/vips heatmaps); after the pass the data stays cold."""
+
+    offset: int = 0
+    size: int = 0
+    span_us: int = 60 * SEC
+    touches_per_sec: float = 400.0
+    #: Pages behind the front that stay warm (sliding working window).
+    warm_tail_bytes: int = 0
+
+    def __post_init__(self):
+        self._check()
+        if self.span_us <= 0:
+            raise ConfigError("stream span must be positive")
+        if self.warm_tail_bytes < 0:
+            raise ConfigError("warm tail cannot be negative")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        if t_us >= self.span_us:
+            return []
+        frac_start = t_us / self.span_us
+        frac_end = min(1.0, (t_us + epoch_us) / self.span_us)
+        start = int(frac_start * self.size) & ~(PAGE_SIZE - 1)
+        end = min(self.size, -(-int(frac_end * self.size) // PAGE_SIZE) * PAGE_SIZE)
+        out = []
+        if end > start:
+            out.append(
+                Burst(start, end, touches_per_page=self.touches_per_sec * epoch_us / 1e6)
+            )
+        if self.warm_tail_bytes and start > 0:
+            tail_start = max(0, start - self.warm_tail_bytes)
+            tail_start &= ~(PAGE_SIZE - 1)
+            if start > tail_start:
+                out.append(
+                    Burst(
+                        tail_start,
+                        start,
+                        touches_per_page=self.touches_per_sec * epoch_us / 1e6 / 4,
+                    )
+                )
+        return out
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        front = _pages(self.size) * epoch_us / self.span_us
+        return front + _pages(self.warm_tail_bytes)
+
+
+@dataclass
+class PhasedHotspot(PatternComponent):
+    """A hot window that jumps to a new position every ``dwell_us``.
+
+    Positions cycle deterministically through ``n_positions`` evenly
+    spaced slots (seeded shuffling would make Figure 6 heatmaps
+    run-dependent).
+    """
+
+    offset: int = 0
+    size: int = 0
+    hot_bytes: int = 0
+    dwell_us: int = 10 * SEC
+    n_positions: int = 4
+    touches_per_sec: float = 1500.0
+
+    def __post_init__(self):
+        self._check()
+        if not 0 < self.hot_bytes <= self.size:
+            raise ConfigError("hot_bytes must be within the component size")
+        if self.dwell_us <= 0 or self.n_positions < 1:
+            raise ConfigError("dwell and positions must be positive")
+
+    def _window(self, t_us) -> tuple:
+        slot = (t_us // self.dwell_us) % self.n_positions
+        span = self.size - self.hot_bytes
+        start = 0 if self.n_positions == 1 else int(span * slot / (self.n_positions - 1))
+        start &= ~(PAGE_SIZE - 1)
+        return start, min(self.size, start + self.hot_bytes)
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        start, end = self._window(t_us)
+        return [
+            Burst(start, end, touches_per_page=self.touches_per_sec * epoch_us / 1e6)
+        ]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        return _pages(self.hot_bytes)
+
+
+@dataclass
+class OnOffHotspot(PatternComponent):
+    """A range that is uniformly hot for ``on_us``, then idle for
+    ``off_us``, cyclically — bursty phase behaviour (water's periodic
+    force recomputation).  With a ``stride`` it is also the cleanest way
+    to exercise THP demotion: the range gets promoted while hot and its
+    bloat returned once the idle phase out-ages a demotion scheme."""
+
+    offset: int = 0
+    size: int = 0
+    on_us: int = 5 * SEC
+    off_us: int = 15 * SEC
+    touches_per_sec: float = 1200.0
+    stride: int = 1
+
+    def __post_init__(self):
+        self._check()
+        if self.on_us <= 0 or self.off_us < 0:
+            raise ConfigError("on_us must be positive and off_us non-negative")
+        if self.stride < 1:
+            raise ConfigError(f"stride must be >= 1: {self.stride}")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        phase = t_us % (self.on_us + self.off_us)
+        if phase >= self.on_us:
+            return []
+        return [
+            Burst(
+                0,
+                self.size,
+                stride=self.stride,
+                touches_per_page=self.touches_per_sec * epoch_us / 1e6,
+            )
+        ]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        duty = self.on_us / (self.on_us + self.off_us)
+        return _pages(self.size) / self.stride * duty
+
+
+@dataclass
+class ColdInit(PatternComponent):
+    """Data populated by a fast initial sweep, then never touched again —
+    pure reclaim opportunity."""
+
+    offset: int = 0
+    size: int = 0
+    init_us: int = 2 * SEC
+    touches_per_sec: float = 100.0
+
+    def __post_init__(self):
+        self._check()
+        if self.init_us <= 0:
+            raise ConfigError("init window must be positive")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        if t_us >= self.init_us:
+            return []
+        frac_start = t_us / self.init_us
+        frac_end = min(1.0, (t_us + epoch_us) / self.init_us)
+        start = int(frac_start * self.size) & ~(PAGE_SIZE - 1)
+        end = min(self.size, -(-int(frac_end * self.size) // PAGE_SIZE) * PAGE_SIZE)
+        if end <= start:
+            return []
+        return [
+            Burst(start, end, touches_per_page=self.touches_per_sec * epoch_us / 1e6)
+        ]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        # Steady state is zero; init cost is transient and excluded from
+        # the memory-share calibration on purpose.
+        return 0.0
+
+
+@dataclass
+class RandomAccess(PatternComponent):
+    """Uniform random touches: ``pages_per_sec`` pages anywhere in the
+    range each second (pointer-chasing noise; also what makes canneal's
+    scores hard to fit)."""
+
+    offset: int = 0
+    size: int = 0
+    pages_per_sec: float = 1000.0
+    touches_per_page: float = 1.0
+
+    def __post_init__(self):
+        self._check()
+        if self.pages_per_sec <= 0:
+            raise ConfigError("random access rate must be positive")
+
+    def bursts(self, t_us, epoch_us, rng) -> List[Burst]:
+        expected = self.pages_per_sec * epoch_us / 1e6
+        fraction = min(1.0, expected / _pages(self.size))
+        if fraction <= 0.0:
+            return []
+        return [Burst(0, self.size, fraction=fraction, touches_per_page=self.touches_per_page)]
+
+    def pages_per_epoch(self, epoch_us) -> float:
+        return min(_pages(self.size), self.pages_per_sec * epoch_us / 1e6)

@@ -1,0 +1,63 @@
+"""Workload lookup by the paper's naming convention.
+
+Workloads are addressed as ``suite/name`` (``parsec3/freqmine``,
+``splash2x/ocean_ncp``, ``production/serverless``); the Figure 7/8 label
+shorthand (``P/freqmine``, ``S/ocean_ncp``) is also accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .base import WorkloadSpec
+from .parsec import PARSEC3
+from .serverless import SERVERLESS
+from .splash import SPLASH2X
+
+__all__ = ["get_workload", "all_workloads", "parsec_names", "splash_names"]
+
+_SUITES: Dict[str, Dict[str, WorkloadSpec]] = {
+    "parsec3": PARSEC3,
+    "splash2x": SPLASH2X,
+    "production": SERVERLESS,
+}
+
+_PREFIX_ALIASES = {"P": "parsec3", "S": "splash2x"}
+
+
+def get_workload(full_name: str) -> WorkloadSpec:
+    """Look up a workload by ``suite/name``."""
+    if "/" not in full_name:
+        raise ConfigError(
+            f"workload names are 'suite/name' (e.g. 'parsec3/freqmine'): {full_name!r}"
+        )
+    suite, name = full_name.split("/", 1)
+    suite = _PREFIX_ALIASES.get(suite, suite)
+    try:
+        return _SUITES[suite][name]
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        raise ConfigError(
+            f"unknown workload {full_name!r} (suites: {known}; "
+            f"see all_workloads() for the full list)"
+        ) from None
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """All 24 benchmark workloads (excludes the production stand-in),
+    in the Figure 7 presentation order: Parsec3 first, then Splash-2x,
+    each alphabetical."""
+    out = [PARSEC3[k] for k in sorted(PARSEC3)]
+    out.extend(SPLASH2X[k] for k in sorted(SPLASH2X))
+    return out
+
+
+def parsec_names() -> List[str]:
+    """The 12 ``parsec3/<name>`` workload names, sorted."""
+    return [f"parsec3/{k}" for k in sorted(PARSEC3)]
+
+
+def splash_names() -> List[str]:
+    """The 12 ``splash2x/<name>`` workload names, sorted."""
+    return [f"splash2x/{k}" for k in sorted(SPLASH2X)]

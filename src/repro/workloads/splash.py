@@ -1,0 +1,256 @@
+"""The 12 Splash-2x workload models.
+
+Scientific kernels: dense cyclic grid/particle sweeps dominate, which is
+where THP wins (dense chunks) and where reclamation races re-touch
+periods.  ``ocean_ncp`` is the calibration anchor for the THP
+experiments: its non-contiguously partitioned grids (strided residency)
+are the paper's worst memory-bloat case (−82% memory efficiency under
+``thp``) and best ``ethp`` showcase; it is also ``prcl``'s worst case
+(−78% performance at min_age 5 s against its ~9 s re-touch period).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..units import MIB, SEC
+from .base import WorkloadSpec
+from .patterns import (
+    ColdInit,
+    CyclicSweep,
+    Hotspot,
+    PhasedHotspot,
+    RandomAccess,
+)
+
+__all__ = ["SPLASH2X"]
+
+
+def _spec(name, footprint_mib, duration_s, components, **kwargs) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        suite="splash2x",
+        footprint=footprint_mib * MIB,
+        duration_us=duration_s * SEC,
+        components=tuple(components),
+        **kwargs,
+    )
+
+
+SPLASH2X: Dict[str, WorkloadSpec] = {
+    # N-body: tree rebuilt and particles swept every timestep.
+    "barnes": _spec(
+        "barnes",
+        2000,
+        120,
+        [
+            CyclicSweep(
+                offset=0, size=1400 * MIB, period_us=10 * SEC, touches_per_sec=400.0
+            ),
+            Hotspot(offset=1400 * MIB, size=200 * MIB, touches_per_sec=1500.0),
+            ColdInit(offset=1600 * MIB, size=400 * MIB),
+        ],
+        compute_share=0.65,
+        mem_share=0.35,
+        tlb_benefit=0.7,
+    ),
+    # FFT: transpose phases move the hot set in big jumps (the abrupt
+    # pattern changes Figure 6 highlights).
+    "fft": _spec(
+        "fft",
+        2000,
+        45,
+        [
+            PhasedHotspot(
+                offset=0,
+                size=1600 * MIB,
+                hot_bytes=500 * MIB,
+                dwell_us=8 * SEC,
+                n_positions=4,
+                touches_per_sec=900.0,
+            ),
+            Hotspot(offset=1600 * MIB, size=400 * MIB, touches_per_sec=1200.0),
+        ],
+        compute_share=0.5,
+        mem_share=0.5,
+        tlb_benefit=0.8,
+    ),
+    # Blocked LU (contiguous blocks): dense, strong locality, THP-friendly.
+    "lu_cb": _spec(
+        "lu_cb",
+        500,
+        100,
+        [
+            Hotspot(offset=0, size=120 * MIB, touches_per_sec=2500.0),
+            CyclicSweep(
+                offset=120 * MIB, size=340 * MIB, period_us=12 * SEC, touches_per_sec=600.0
+            ),
+            ColdInit(offset=460 * MIB, size=40 * MIB),
+        ],
+        compute_share=0.6,
+        mem_share=0.4,
+        tlb_benefit=0.7,
+    ),
+    # LU without contiguous blocks: same structure, worse locality.
+    "lu_ncb": _spec(
+        "lu_ncb",
+        500,
+        120,
+        [
+            Hotspot(offset=0, size=100 * MIB, touches_per_sec=2200.0),
+            CyclicSweep(
+                offset=100 * MIB,
+                size=360 * MIB,
+                period_us=14 * SEC,
+                active_share=0.6,
+                touches_per_sec=500.0,
+                stride=2,
+            ),
+            ColdInit(offset=460 * MIB, size=40 * MIB),
+        ],
+        compute_share=0.6,
+        mem_share=0.4,
+        tlb_benefit=0.8,
+    ),
+    # Ocean simulation, contiguous partitions: dense fast grid sweeps
+    # plus init-time setup data that later timesteps never revisit.
+    "ocean_cp": _spec(
+        "ocean_cp",
+        1500,
+        60,
+        [
+            CyclicSweep(
+                offset=0, size=1000 * MIB, period_us=6 * SEC, touches_per_sec=700.0
+            ),
+            ColdInit(offset=1000 * MIB, size=200 * MIB, init_us=3 * SEC),
+            Hotspot(offset=1200 * MIB, size=300 * MIB, touches_per_sec=1500.0),
+        ],
+        compute_share=0.5,
+        mem_share=0.5,
+        tlb_benefit=0.8,
+    ),
+    # Ocean, NON-contiguous partitions: strided grid residency.  See the
+    # module docstring — this is the THP-bloat and prcl-thrash anchor.
+    "ocean_ncp": _spec(
+        "ocean_ncp",
+        2500,
+        120,
+        [
+            CyclicSweep(
+                offset=0,
+                size=2200 * MIB,
+                period_us=12 * SEC,
+                active_share=0.4,
+                touches_per_sec=700.0,
+                stride=2,
+                stall_boost=14.0,
+            ),
+            Hotspot(offset=2200 * MIB, size=300 * MIB, touches_per_sec=1800.0),
+        ],
+        compute_share=0.35,
+        mem_share=0.75,
+        tlb_benefit=1.2,
+    ),
+    # Radiosity: irregular scene-graph chasing plus a warm core.
+    "radiosity": _spec(
+        "radiosity",
+        1000,
+        120,
+        [
+            Hotspot(offset=0, size=150 * MIB, touches_per_sec=2000.0),
+            RandomAccess(
+                offset=150 * MIB, size=700 * MIB, pages_per_sec=60000.0
+            ),
+            ColdInit(offset=850 * MIB, size=150 * MIB),
+        ],
+        compute_share=0.6,
+        mem_share=0.35,
+    ),
+    # Radix sort: a handful of fast full passes in a short run.
+    "radix": _spec(
+        "radix",
+        1500,
+        40,
+        [
+            CyclicSweep(
+                offset=0, size=1300 * MIB, period_us=8 * SEC, touches_per_sec=900.0
+            ),
+            Hotspot(offset=1300 * MIB, size=200 * MIB, touches_per_sec=1200.0),
+        ],
+        compute_share=0.45,
+        mem_share=0.5,
+        tlb_benefit=0.6,
+    ),
+    # Ray tracing (Splash): small footprint, mostly cold scene data —
+    # large relative savings, which Figure 4 shows reaching score ≈ 40.
+    "raytrace": _spec(
+        "raytrace",
+        40,
+        120,
+        [
+            Hotspot(offset=0, size=10 * MIB, touches_per_sec=2800.0),
+            PhasedHotspot(
+                offset=10 * MIB,
+                size=10 * MIB,
+                hot_bytes=3 * MIB,
+                dwell_us=20 * SEC,
+                n_positions=3,
+                touches_per_sec=900.0,
+            ),
+            ColdInit(offset=20 * MIB, size=20 * MIB),
+        ],
+        compute_share=0.8,
+        mem_share=0.2,
+    ),
+    # Volume rendering: small hot core, half the data cold after init.
+    "volrend": _spec(
+        "volrend",
+        30,
+        80,
+        [
+            Hotspot(offset=0, size=10 * MIB, touches_per_sec=2500.0),
+            ColdInit(offset=10 * MIB, size=20 * MIB),
+        ],
+        compute_share=0.85,
+        mem_share=0.15,
+    ),
+    # Water (O(n^2)): long run, rare full molecular sweeps between which
+    # the bulk sits idle — reclaim wins if min_age clears the sweep gap.
+    "water_nsquared": _spec(
+        "water_nsquared",
+        35,
+        300,
+        [
+            Hotspot(offset=0, size=12 * MIB, touches_per_sec=2500.0),
+            CyclicSweep(
+                offset=12 * MIB,
+                size=18 * MIB,
+                period_us=40 * SEC,
+                active_share=0.2,
+                touches_per_sec=600.0,
+            ),
+            ColdInit(offset=30 * MIB, size=5 * MIB),
+        ],
+        compute_share=0.85,
+        mem_share=0.15,
+    ),
+    # Water (spatial decomposition): similar with a shorter revisit period.
+    "water_spatial": _spec(
+        "water_spatial",
+        40,
+        200,
+        [
+            Hotspot(offset=0, size=14 * MIB, touches_per_sec=2500.0),
+            CyclicSweep(
+                offset=14 * MIB,
+                size=20 * MIB,
+                period_us=25 * SEC,
+                active_share=0.3,
+                touches_per_sec=700.0,
+            ),
+            ColdInit(offset=34 * MIB, size=6 * MIB),
+        ],
+        compute_share=0.85,
+        mem_share=0.15,
+    ),
+}

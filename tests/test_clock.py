@@ -1,0 +1,153 @@
+"""Virtual clock and event queue."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import EventQueue, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(500).now == 500
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(1000)
+        assert clock.now == 1000
+
+    def test_no_backwards(self):
+        clock = VirtualClock(100)
+        with pytest.raises(ConfigError):
+            clock.advance_to(50)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            VirtualClock(-1)
+
+
+class TestEventQueue:
+    def test_one_shot_fires_at_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(100, lambda now: fired.append(now))
+        queue.run_until(99)
+        assert fired == []
+        queue.run_until(100)
+        assert fired == [100]
+
+    def test_schedule_after(self):
+        queue = EventQueue()
+        fired = []
+        queue.run_until(50)
+        queue.schedule_after(25, lambda now: fired.append(now))
+        queue.run_until(100)
+        assert fired == [75]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.run_until(100)
+        with pytest.raises(ConfigError):
+            queue.schedule_at(50, lambda now: None)
+
+    def test_same_time_fires_in_registration_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule_at(10, lambda now: order.append("a"))
+        queue.schedule_at(10, lambda now: order.append("b"))
+        queue.schedule_at(10, lambda now: order.append("c"))
+        queue.run_until(10)
+        assert order == ["a", "b", "c"]
+
+    def test_clock_reaches_deadline_with_empty_queue(self):
+        queue = EventQueue()
+        queue.run_until(12345)
+        assert queue.clock.now == 12345
+
+    def test_periodic_fires_every_period(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_periodic(10, lambda now: fired.append(now))
+        queue.run_until(35)
+        assert fired == [10, 20, 30]
+
+    def test_periodic_phase_offsets_first_firing(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_periodic(10, lambda now: fired.append(now), phase=3)
+        queue.run_until(25)
+        assert fired == [13, 23]
+
+    def test_periodic_cancel(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_periodic(10, lambda now: fired.append(now))
+        queue.run_until(25)
+        event.cancel()
+        queue.run_until(100)
+        assert fired == [10, 20]
+
+    def test_cancel_inside_callback_stops_rescheduling(self):
+        queue = EventQueue()
+        fired = []
+        holder = {}
+
+        def callback(now):
+            fired.append(now)
+            if len(fired) == 2:
+                holder["event"].cancel()
+
+        holder["event"] = queue.schedule_periodic(10, callback)
+        queue.run_until(100)
+        assert fired == [10, 20]
+
+    def test_zero_period_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ConfigError):
+            queue.schedule_periodic(0, lambda now: None)
+
+    def test_period_change_takes_effect_lazily(self):
+        # The firing at t=10 already queued its successor at t=20 with
+        # the old period; the new period applies from there on.
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_periodic(10, lambda now: fired.append(now))
+        queue.run_until(10)
+        event.period = 20
+        queue.run_until(70)
+        assert fired == [10, 20, 40, 60]
+
+    def test_run_for_is_relative(self):
+        queue = EventQueue()
+        queue.run_until(100)
+        fired = []
+        queue.schedule_periodic(30, lambda now: fired.append(now))
+        queue.run_for(60)
+        assert fired == [130, 160]
+
+    def test_events_scheduled_by_events_run_same_pass(self):
+        queue = EventQueue()
+        fired = []
+
+        def outer(now):
+            queue.schedule_at(now + 5, lambda t: fired.append(("inner", t)))
+            fired.append(("outer", now))
+
+        queue.schedule_at(10, outer)
+        queue.run_until(20)
+        assert fired == [("outer", 10), ("inner", 15)]
+
+    def test_dispatch_count(self):
+        queue = EventQueue()
+        queue.schedule_at(1, lambda now: None)
+        queue.schedule_at(2, lambda now: None)
+        assert queue.run_until(10) == 2
+
+    def test_len_reflects_pending(self):
+        queue = EventQueue()
+        queue.schedule_at(5, lambda now: None)
+        assert len(queue) == 1
+        queue.run_until(5)
+        assert len(queue) == 0

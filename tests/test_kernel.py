@@ -1,0 +1,251 @@
+"""SimKernel: the access path, management ops, reclaim and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.kernel import SimKernel
+from repro.sim.machine import GuestSpec, get_instance
+from repro.sim.pagetable import PAGE_SIZE, PAGES_PER_HUGE
+from repro.sim.swap import NoSwapDevice, ZramDevice
+from repro.sim.thp import ThpPolicy
+from repro.units import MIB, MSEC, SEC
+
+BASE = 0x7F00_0000_0000
+EPOCH = 100 * MSEC
+
+
+class TestAccessPath:
+    def test_first_touch_allocates(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        assert kernel.rss_bytes() == MIB
+        assert kernel.metrics.minor_faults == MIB // PAGE_SIZE
+        assert kernel.frames.allocated == MIB // PAGE_SIZE
+
+    def test_second_touch_no_new_faults(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        before = kernel.metrics.minor_faults
+        kernel.apply_access(BASE, BASE + MIB, now=EPOCH, epoch_us=EPOCH)
+        assert kernel.metrics.minor_faults == before
+
+    def test_swapped_touch_major_fault_with_latency(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        kernel.pageout(BASE, BASE + MIB, now=EPOCH)
+        kernel.apply_access(BASE, BASE + MIB, now=2 * EPOCH, epoch_us=EPOCH)
+        assert kernel.metrics.major_faults == MIB // PAGE_SIZE
+        assert kernel.metrics.runtime.major_fault_us > 0
+        assert kernel.rss_bytes() == MIB
+
+    def test_rates_declared_per_epoch(self, kernel):
+        vma = kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(
+            BASE, BASE + MIB, now=0, epoch_us=EPOCH, touches_per_page=50
+        )
+        assert vma.pages.rate[0] == pytest.approx(500.0)  # 50 / 0.1 s
+        kernel.begin_epoch()
+        assert vma.pages.rate[0] == 0.0
+
+    def test_access_spanning_gap(self, kernel):
+        kernel.mmap(BASE, MIB)
+        kernel.mmap(BASE + 2 * MIB, MIB)
+        kernel.apply_access(BASE, BASE + 3 * MIB, now=0, epoch_us=EPOCH)
+        assert kernel.rss_bytes() == 2 * MIB
+
+    def test_memory_stall_accounted(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(
+            BASE, BASE + MIB, now=0, epoch_us=EPOCH, stall_weight=2.0
+        )
+        expected = (MIB // PAGE_SIZE) * 2.0 * kernel.costs.dram_cost_us
+        assert kernel.metrics.runtime.memory_stall_us == pytest.approx(expected)
+
+    def test_zero_epoch_rejected(self, kernel):
+        kernel.mmap(BASE, MIB)
+        with pytest.raises(ConfigError):
+            kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=0)
+
+    def test_end_epoch_records_memory(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        kernel.end_epoch(EPOCH, compute_us=70000)
+        kernel.end_epoch(2 * EPOCH, compute_us=70000)
+        assert kernel.metrics.memory.avg_rss() == pytest.approx(MIB)
+        assert kernel.metrics.runtime.compute_us == 140000
+
+
+class TestMunmap:
+    def test_releases_frames_and_swap(self, kernel):
+        vma = kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        kernel.pageout(BASE, BASE + MIB, now=EPOCH)
+        swap_used = kernel.swap.used_pages
+        assert swap_used > 0
+        kernel.munmap(vma)
+        assert kernel.frames.allocated == 0
+        assert kernel.swap.used_pages == 0
+        assert kernel.rss_bytes() == 0
+
+
+class TestPageout:
+    def test_pageout_reduces_rss(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        n = kernel.pageout(BASE, BASE + MIB, now=EPOCH)
+        assert n == MIB // PAGE_SIZE
+        assert kernel.rss_bytes() == MIB
+        assert kernel.metrics.pages_swapped_out == n
+
+    def test_pageout_respects_swap_capacity(self, small_guest):
+        kernel = SimKernel(small_guest, swap=ZramDevice(PAGE_SIZE * 10), seed=1)
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        n = kernel.pageout(BASE, BASE + MIB, now=EPOCH)
+        assert n == 10  # only ten swap slots exist
+        assert kernel.rss_bytes() == MIB - 10 * PAGE_SIZE
+
+    def test_pageout_with_no_swap_is_noop(self, small_guest):
+        kernel = SimKernel(small_guest, swap=NoSwapDevice(), seed=1)
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        assert kernel.pageout(BASE, BASE + MIB, now=EPOCH) == 0
+        assert kernel.rss_bytes() == MIB
+
+
+class TestMadvise:
+    def test_willneed_prefetches(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + MIB, now=0, epoch_us=EPOCH)
+        kernel.pageout(BASE, BASE + MIB, now=EPOCH)
+        n = kernel.madvise_willneed(BASE, BASE + MIB, now=2 * EPOCH)
+        assert n == MIB // PAGE_SIZE
+        assert kernel.rss_bytes() == MIB
+        # Prefetch is asynchronous: no major-fault latency charged.
+        assert kernel.metrics.runtime.major_fault_us == 0
+
+    def test_cold_deactivates_for_lru(self, kernel):
+        vma = kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        kernel.madvise_cold(BASE, BASE + MIB, now=EPOCH)
+        victims = kernel.lru.select_victims(10)
+        (victim_vma, idx), = victims
+        assert victim_vma is vma
+        assert (idx < MIB // PAGE_SIZE).all()
+
+    def test_hugepage_promotes_and_bloats(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 64 * PAGE_SIZE, now=0, epoch_us=EPOCH)
+        promotions = kernel.madvise_hugepage(BASE, BASE + 2 * MIB, now=EPOCH)
+        assert promotions == 1
+        assert kernel.rss_bytes() == 2 * MIB
+        assert kernel.metrics.thp_bloat_pages == PAGES_PER_HUGE - 64
+        assert kernel.metrics.runtime.thp_alloc_us > 0
+
+    def test_hugepage_skips_empty_chunks(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        assert kernel.madvise_hugepage(BASE, BASE + 4 * MIB, now=0) == 0
+
+    def test_nohugepage_returns_bloat(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 64 * PAGE_SIZE, now=0, epoch_us=EPOCH)
+        kernel.madvise_hugepage(BASE, BASE + 2 * MIB, now=EPOCH)
+        demotions = kernel.madvise_nohugepage(BASE, BASE + 2 * MIB, now=2 * EPOCH)
+        assert demotions == 1
+        assert kernel.rss_bytes() == 64 * PAGE_SIZE
+        assert kernel.frames.allocated == 64
+
+    def test_partial_chunk_range_not_promoted(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        # Range covers only half a chunk: no full chunk inside it.
+        assert kernel.madvise_hugepage(BASE, BASE + MIB, now=EPOCH) == 0
+
+
+class TestPressureReclaim:
+    def test_reclaim_triggers_above_watermark(self, small_guest):
+        kernel = SimKernel(small_guest, swap=ZramDevice(256 * MIB), seed=1)
+        kernel.mmap(BASE, 512 * MIB)
+        # Touch more than the 256 MiB of guest DRAM in two waves; the
+        # second forces eviction of the (older) first wave.
+        kernel.apply_access(BASE, BASE + 200 * MIB, now=0, epoch_us=EPOCH)
+        kernel.end_epoch(EPOCH, 1.0)
+        kernel.apply_access(
+            BASE + 200 * MIB, BASE + 400 * MIB, now=EPOCH, epoch_us=EPOCH
+        )
+        kernel.end_epoch(2 * EPOCH, 1.0)
+        assert kernel.metrics.reclaim_evictions > 0
+        assert kernel.frames.allocated <= kernel.frames.n_frames
+
+    def test_khugepaged_scan_respects_mode(self, small_guest):
+        kernel = SimKernel(small_guest, thp=ThpPolicy(mode="never"), seed=1)
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        assert kernel.khugepaged_scan(now=EPOCH)["promotions"] == 0
+
+    def test_khugepaged_scan_promotes_in_always(self, small_guest):
+        kernel = SimKernel(small_guest, thp=ThpPolicy(mode="always"), seed=1)
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        result = kernel.khugepaged_scan(now=EPOCH)
+        assert result["promotions"] == 1  # the fully-touched chunk
+
+
+class TestMonitoringHooks:
+    def test_access_probabilities_mapped_and_gaps(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(
+            BASE, BASE + MIB, now=0, epoch_us=EPOCH, touches_per_page=1000
+        )
+        addrs = np.array([BASE, BASE + 2 * MIB, BASE + 100 * MIB])
+        probs = kernel.access_probabilities(addrs, window_us=5000)
+        assert probs[0] > 0.9
+        assert probs[1] == 0.0  # mapped but cold
+        assert probs[2] == 0.0  # unmapped gap
+
+    def test_frame_access_probabilities_via_rmap(self, kernel):
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(
+            BASE, BASE + MIB, now=0, epoch_us=EPOCH, touches_per_page=1000
+        )
+        # Frames 0.. hold the touched pages (allocated lowest-first).
+        probs = kernel.frame_access_probabilities(np.array([0, 1]), window_us=5000)
+        assert (probs > 0.9).all()
+
+    def test_free_frames_read_as_cold(self, kernel):
+        probs = kernel.frame_access_probabilities(np.array([100]), window_us=5000)
+        assert probs[0] == 0.0
+
+    def test_charge_monitor_checks(self, kernel):
+        kernel.charge_monitor_checks(1000)
+        assert kernel.metrics.monitor_checks == 1000
+        assert kernel.metrics.monitor_cpu_us == pytest.approx(
+            1000 * kernel.costs.pte_check_us + kernel.costs.kdamond_wakeup_us
+        )
+        assert kernel.metrics.runtime.monitor_interference_us > 0
+
+    def test_charge_monitor_wakeup_only(self, kernel):
+        kernel.charge_monitor_checks(0)
+        assert kernel.metrics.monitor_cpu_us == pytest.approx(
+            kernel.costs.kdamond_wakeup_us
+        )
+
+
+class TestSystemBytes:
+    def test_zram_overhead_counted(self, small_guest):
+        kernel = SimKernel(small_guest, swap=ZramDevice(64 * MIB), seed=1)
+        kernel.mmap(BASE, 4 * MIB)
+        kernel.apply_access(BASE, BASE + 2 * MIB, now=0, epoch_us=EPOCH)
+        kernel.pageout(BASE, BASE + 2 * MIB, now=EPOCH)
+        assert kernel.rss_bytes() == 0
+        assert kernel.system_bytes() == kernel.swap.dram_overhead_bytes()
+        assert kernel.system_bytes() > 0
+
+    def test_guest_spec_from_machine(self):
+        kernel = SimKernel(get_instance("i3.metal"), seed=1)
+        assert kernel.guest.dram_bytes == get_instance("i3.metal").dram_bytes // 4
+
+    def test_bad_guest_rejected(self):
+        with pytest.raises(ConfigError):
+            SimKernel("not-a-machine")

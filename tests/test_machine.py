@@ -1,0 +1,92 @@
+"""Machine catalog — paper Table 2."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.machine import (
+    MachineSpec,
+    get_instance,
+    guest_of,
+    instance_catalog,
+    scaled_instance,
+)
+from repro.units import GIB
+
+
+class TestTable2:
+    """The catalog must match the paper's Table 2 verbatim."""
+
+    def test_i3_metal(self):
+        spec = get_instance("i3.metal")
+        assert spec.cpu_ghz == 3.0
+        assert spec.vcpus == 36
+        assert spec.dram_bytes == 128 * GIB
+
+    def test_m5d_metal(self):
+        spec = get_instance("m5d.metal")
+        assert spec.cpu_ghz == 3.1
+        assert spec.vcpus == 48
+        assert spec.dram_bytes == 96 * GIB
+
+    def test_z1d_metal(self):
+        spec = get_instance("z1d.metal")
+        assert spec.cpu_ghz == 4.0
+        assert spec.vcpus == 24
+        assert spec.dram_bytes == 96 * GIB
+
+    def test_catalog_has_exactly_three(self):
+        assert sorted(instance_catalog()) == ["i3.metal", "m5d.metal", "z1d.metal"]
+
+    def test_catalog_copy_is_safe(self):
+        catalog = instance_catalog()
+        catalog["fake"] = None
+        assert "fake" not in instance_catalog()
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ConfigError):
+            get_instance("c5.metal")
+
+
+class TestGuest:
+    """§4: the guest uses half the CPUs and a quarter of the memory."""
+
+    @pytest.mark.parametrize("name", ["i3.metal", "m5d.metal", "z1d.metal"])
+    def test_guest_shares(self, name):
+        host = get_instance(name)
+        guest = guest_of(host)
+        assert guest.vcpus == host.vcpus // 2
+        assert guest.dram_bytes == host.dram_bytes // 4
+
+    def test_guest_name(self):
+        assert guest_of(get_instance("i3.metal")).name == "i3.metal.guest"
+
+    def test_guest_cpu_scale_matches_host(self):
+        host = get_instance("z1d.metal")
+        assert guest_of(host).cpu_scale == host.cpu_scale
+
+
+class TestSpecs:
+    def test_cpu_scale_reference(self):
+        assert get_instance("i3.metal").cpu_scale == pytest.approx(1.0)
+        assert get_instance("z1d.metal").cpu_scale == pytest.approx(4.0 / 3.0)
+
+    def test_invalid_cpu_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="bad", cpu_ghz=0, vcpus=4, dram_bytes=GIB)
+
+    def test_invalid_vcpus_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="bad", cpu_ghz=3.0, vcpus=0, dram_bytes=GIB)
+
+    def test_invalid_dram_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="bad", cpu_ghz=3.0, vcpus=4, dram_bytes=0)
+
+    def test_scaled_instance(self):
+        spec = scaled_instance("i3.metal", dram_scale=0.5)
+        assert spec.dram_bytes == 64 * GIB
+        assert spec.cpu_ghz == 3.0
+
+    def test_scaled_instance_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            scaled_instance("i3.metal", dram_scale=0)

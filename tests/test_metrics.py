@@ -1,0 +1,71 @@
+"""Metrics accounting: runtime breakdown and memory timelines."""
+
+import pytest
+
+from repro.sim.metrics import KernelMetrics, MemoryTimeline, RuntimeBreakdown
+
+
+class TestRuntimeBreakdown:
+    def test_total_sums_components(self):
+        b = RuntimeBreakdown(
+            compute_us=10,
+            memory_stall_us=5,
+            major_fault_us=3,
+            minor_fault_us=2,
+            swapout_us=1,
+            thp_alloc_us=4,
+            monitor_interference_us=0.5,
+        )
+        assert b.total_us() == pytest.approx(25.5)
+
+    def test_as_dict_roundtrip(self):
+        b = RuntimeBreakdown(compute_us=7)
+        d = b.as_dict()
+        assert d["compute_us"] == 7
+        assert d["total_us"] == b.total_us()
+
+
+class TestMemoryTimeline:
+    def test_time_weighted_average(self):
+        t = MemoryTimeline()
+        t.record(0, 100, 100)
+        t.record(10, 200, 200)  # 100 held for 10 units
+        t.record(30, 0, 0)  # 200 held for 20 units
+        assert t.avg_rss() == pytest.approx((100 * 10 + 200 * 20) / 30)
+
+    def test_single_sample_average(self):
+        t = MemoryTimeline()
+        t.record(5, 42, 50)
+        assert t.avg_rss() == 42
+        assert t.avg_system() == 50
+
+    def test_peaks(self):
+        t = MemoryTimeline()
+        t.record(0, 10, 10)
+        t.record(1, 99, 120)
+        t.record(2, 5, 5)
+        assert t.peak_rss == 99
+        assert t.peak_system == 120
+
+    def test_out_of_order_rejected(self):
+        t = MemoryTimeline()
+        t.record(10, 1, 1)
+        with pytest.raises(ValueError):
+            t.record(5, 1, 1)
+
+    def test_same_time_samples_allowed(self):
+        t = MemoryTimeline()
+        t.record(10, 1, 1)
+        t.record(10, 2, 2)
+        assert t.samples == 2
+
+
+class TestKernelMetrics:
+    def test_as_dict_contains_everything(self):
+        m = KernelMetrics()
+        m.major_faults = 3
+        m.memory.record(0, 100, 100)
+        d = m.as_dict()
+        assert d["major_faults"] == 3
+        assert "avg_rss_bytes" in d
+        assert "total_us" in d

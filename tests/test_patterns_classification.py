@@ -1,0 +1,61 @@
+"""Score-curve pattern classification (analysis.patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import PATTERN_NAMES, classify_score_pattern
+from repro.errors import ConfigError
+
+X = list(np.linspace(0.0, 1.0, 21))
+
+
+def classify(ys):
+    return classify_score_pattern(X, ys)[0]
+
+
+class TestClassification:
+    def test_monotonic_rise_is_1(self):
+        assert classify([10 * x for x in X]) == 1
+
+    def test_monotonic_fall_is_4(self):
+        assert classify([-10 * x for x in X]) == 4
+
+    def test_interior_peak_above_zero_is_2(self):
+        ys = [10 * x if x < 0.5 else 10 * (1 - x) + 2 for x in X]
+        assert classify(ys) == 2
+
+    def test_interior_peak_below_zero_is_3(self):
+        ys = [20 * x if x < 0.3 else 6 - 25 * (x - 0.3) for x in X]
+        assert classify(ys) == 3
+
+    def test_interior_valley_below_zero_is_5(self):
+        ys = [-20 * x if x < 0.3 else -6 + 8 * (x - 0.3) for x in X]
+        assert classify(ys) == 5
+
+    def test_interior_valley_recovering_is_6(self):
+        ys = [-20 * x if x < 0.3 else -6 + 30 * (x - 0.3) for x in X]
+        assert classify(ys) == 6
+
+    def test_flat_curve_is_monotonic(self):
+        assert classify([0.0] * 21) in (1, 4)
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        base = [10 * x for x in X]
+        noisy = [b + rng.normal(0, 0.3) for b in base]
+        assert classify(noisy) == 1
+
+    def test_all_six_names(self):
+        assert set(PATTERN_NAMES) == set(range(1, 7))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_score_pattern([0, 1], [0, 1])
+
+    def test_non_increasing_x_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_score_pattern([0, 2, 1, 3], [0, 0, 0, 0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_score_pattern([0, 1, 2, 3], [0, 0, 0])

@@ -1,0 +1,121 @@
+"""Cross-module property tests: invariants that span layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.monitor.attrs import MonitorAttrs
+from repro.schemes.parser import format_scheme, parse_scheme
+from repro.schemes.quotas import Quota
+from repro.sim.kernel import SimKernel
+from repro.sim.machine import GuestSpec, get_instance
+from repro.sim.swap import ZramDevice
+from repro.units import MIB, MSEC, SEC
+
+from tests.helpers import BASE
+
+ATTRS = MonitorAttrs()
+
+
+class TestConservation:
+    """Memory accounting conservation laws under random operations."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["touch", "pageout", "willneed", "cold"]),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=1, max_value=8),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_pages_never_created_or_lost(self, ops):
+        """present + swapped never exceeds the touched page population,
+        and frames allocated always equals pages present."""
+        guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=256 * MIB)
+        kernel = SimKernel(guest, swap=ZramDevice(128 * MIB), seed=2)
+        kernel.mmap(BASE, 64 * MIB)
+        pt = kernel.space.vmas[0].pages
+        now = 0
+        ever_touched = np.zeros(pt.n_pages, dtype=bool)
+        for op, slot, span in ops:
+            now += 100 * MSEC
+            start = BASE + slot * 4 * MIB
+            end = min(BASE + 64 * MIB, start + span * 4 * MIB)
+            if op == "touch":
+                kernel.apply_access(start, end, now, 100 * MSEC, stall_weight=0.0)
+                lo = (start - BASE) // 4096
+                hi = (end - BASE) // 4096
+                ever_touched[lo:hi] = True
+            elif op == "pageout":
+                kernel.pageout(start, end, now)
+            elif op == "willneed":
+                kernel.madvise_willneed(start, end, now)
+            elif op == "cold":
+                kernel.madvise_cold(start, end, now)
+            populated = pt.present | pt.swapped
+            assert (populated <= ever_touched).all()
+            assert int(np.count_nonzero(pt.present)) == kernel.frames.allocated
+            assert int(np.count_nonzero(pt.swapped)) == kernel.swap.used_pages
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_swap_roundtrip_preserves_population(self, seed):
+        guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=256 * MIB)
+        kernel = SimKernel(guest, swap=ZramDevice(128 * MIB), seed=seed)
+        kernel.mmap(BASE, 32 * MIB)
+        kernel.apply_access(BASE, BASE + 32 * MIB, 0, 100 * MSEC, stall_weight=0.0)
+        before = kernel.rss_bytes()
+        kernel.pageout(BASE, BASE + 32 * MIB, 1)
+        kernel.madvise_willneed(BASE, BASE + 32 * MIB, 2)
+        assert kernel.rss_bytes() == before
+        assert kernel.swap.used_pages == 0
+
+
+class TestSchemeRoundtripWithAttrs:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sampling_ms=st.sampled_from([1, 5, 10]),
+        aggr_mult=st.sampled_from([10, 20, 50]),
+        raw_count=st.integers(min_value=0, max_value=10),
+    )
+    def test_raw_counts_resolve_against_any_attrs(self, sampling_ms, aggr_mult, raw_count):
+        attrs = MonitorAttrs(
+            sampling_interval_us=sampling_ms * MSEC,
+            aggregation_interval_us=sampling_ms * aggr_mult * MSEC,
+            regions_update_interval_us=sampling_ms * aggr_mult * 10 * MSEC,
+        )
+        scheme = parse_scheme(f"min max {raw_count} max min max pageout", attrs)
+        expected = min(1.0, raw_count / attrs.max_nr_accesses)
+        assert scheme.pattern.min_freq == pytest.approx(expected)
+        # Round-trip through the text form preserves the resolved value.
+        again = parse_scheme(format_scheme(scheme, attrs), attrs)
+        assert again.pattern.min_freq == pytest.approx(expected, abs=1e-6)
+
+
+class TestQuotaNeverOvercharges:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20 * MIB),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=20,
+        )
+    )
+    def test_window_budget_respected(self, charges):
+        quota = Quota(size_bytes=8 * MIB, reset_interval_us=1 * SEC)
+        window_charged = {}
+        for nbytes, at_ds in charges:
+            now = at_ds * 100 * MSEC
+            window = now // SEC
+            remaining = quota.remaining(now)
+            take = min(nbytes, remaining)
+            quota.charge(take, now)
+            window_charged[window] = window_charged.get(window, 0) + take
+        for window, total in window_charged.items():
+            assert total <= 8 * MIB

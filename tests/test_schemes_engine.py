@@ -1,0 +1,212 @@
+"""SchemesEngine: application against live monitoring, quotas, watermarks."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.monitor.attrs import MonitorAttrs
+from repro.monitor.core import DataAccessMonitor
+from repro.monitor.primitives import VirtualPrimitive
+from repro.schemes.actions import Action
+from repro.schemes.engine import SchemesEngine
+from repro.schemes.parser import parse_scheme
+from repro.schemes.quotas import Quota, priority
+from repro.schemes.scheme import AccessPattern, Scheme
+from repro.schemes.stats import SchemeStats, WssEstimator
+from repro.schemes.watermarks import Watermarks
+from repro.units import MIB, MSEC, SEC, UNLIMITED
+
+from tests.helpers import BASE, run_epochs
+
+
+def stack(kernel, fast_attrs, queue, schemes):
+    monitor = DataAccessMonitor(VirtualPrimitive(kernel), fast_attrs, seed=3)
+    engine = SchemesEngine(kernel, schemes)
+    monitor.attach_engine(engine)
+    monitor.start(queue)
+    return monitor, engine
+
+
+class TestEngineApplication:
+    def test_pageout_scheme_reclaims_cold_memory(self, kernel, fast_attrs, queue):
+        kernel.mmap(BASE, 64 * MIB)
+        scheme = parse_scheme("4K max min min 200ms max pageout", fast_attrs)
+        stack(kernel, fast_attrs, queue, [scheme])
+        # Hot first MiB, cold rest (touched once).
+        kernel.apply_access(BASE, BASE + 64 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(
+            kernel,
+            queue,
+            [dict(start=BASE, end=BASE + MIB, touches_per_page=2000)],
+            n_epochs=20,
+        )
+        assert kernel.rss_bytes() < 16 * MIB  # most of the cold 63 MiB went out
+        assert kernel.rss_bytes() >= MIB  # the hot part stayed
+        assert scheme.stats.nr_applied > 0
+
+    def test_stat_scheme_touches_nothing(self, kernel, fast_attrs, queue):
+        kernel.mmap(BASE, 64 * MIB)
+        scheme = parse_scheme("min max min max min max stat", fast_attrs)
+        stack(kernel, fast_attrs, queue, [scheme])
+        run_epochs(
+            kernel,
+            queue,
+            [dict(start=BASE, end=BASE + 8 * MIB, touches_per_page=1000)],
+            n_epochs=10,
+        )
+        assert kernel.rss_bytes() == 8 * MIB
+        assert scheme.stats.sz_tried > 0
+        assert scheme.stats.nr_intervals > 0
+
+    def test_engine_applies_schemes_in_order(self, kernel, fast_attrs):
+        first = Scheme(pattern=AccessPattern(), action=Action.STAT)
+        second = Scheme(pattern=AccessPattern(), action=Action.STAT)
+        engine = SchemesEngine(kernel, [first, second])
+        assert engine.schemes == [first, second]
+
+    def test_replace_schemes(self, kernel):
+        engine = SchemesEngine(kernel)
+        scheme = Scheme(pattern=AccessPattern(), action=Action.STAT)
+        engine.replace_schemes([scheme])
+        assert engine.schemes == [scheme]
+
+    def test_validate_rejects_hot_pageout(self, kernel):
+        scheme = Scheme(
+            pattern=AccessPattern(min_freq=0.8), action=Action.PAGEOUT
+        )
+        engine = SchemesEngine(kernel, [scheme])
+        with pytest.raises(SchemeError):
+            engine.validate()
+
+    def test_describe(self, kernel, fast_attrs):
+        scheme = parse_scheme("4K max min min 5s max pageout", fast_attrs)
+        engine = SchemesEngine(kernel, [scheme])
+        assert "pageout" in engine.describe()
+        assert SchemesEngine(kernel).describe() == "(no schemes installed)"
+
+
+class TestQuota:
+    def test_unlimited_by_default(self):
+        quota = Quota()
+        assert not quota.limited
+        assert quota.remaining(0) == UNLIMITED
+
+    def test_budget_consumed_and_reset(self):
+        quota = Quota(size_bytes=10 * MIB, reset_interval_us=1 * SEC)
+        assert quota.remaining(0) == 10 * MIB
+        quota.charge(4 * MIB, 0)
+        assert quota.remaining(100) == 6 * MIB
+        # After the window rolls, the budget refills.
+        assert quota.remaining(2 * SEC) == 10 * MIB
+
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(SchemeError):
+            Quota(size_bytes=-1)
+        with pytest.raises(SchemeError):
+            Quota(reset_interval_us=0)
+
+    def test_priority_prefers_cold_for_pageout(self):
+        cold_old = priority(0, 100, 20, prefer_cold=True)
+        hot_young = priority(20, 0, 20, prefer_cold=True)
+        assert cold_old > hot_young
+
+    def test_priority_prefers_hot_for_promotion(self):
+        hot = priority(20, 50, 20, prefer_cold=False)
+        cold = priority(0, 50, 20, prefer_cold=False)
+        assert hot > cold
+
+    def test_quota_caps_engine_application(self, kernel, fast_attrs, queue):
+        kernel.mmap(BASE, 64 * MIB)
+        scheme = parse_scheme("4K max min min 100ms max pageout", fast_attrs)
+        scheme.quota = Quota(size_bytes=1 * MIB, reset_interval_us=10 * SEC)
+        stack(kernel, fast_attrs, queue, [scheme])
+        kernel.apply_access(BASE, BASE + 32 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(kernel, queue, [], n_epochs=10)
+        # At most the quota per window (one window in this run) +
+        # region rounding, far below the unrestricted 32 MiB.
+        assert scheme.stats.sz_applied <= 2 * MIB
+
+    def test_quota_partial_application_splits_regions(self, kernel, fast_attrs, queue):
+        """A region bigger than the remaining budget is applied
+        partially (upstream splits it at the budget boundary) rather
+        than skipped, so savings accumulate window by window."""
+        kernel.mmap(BASE, 64 * MIB)
+        scheme = parse_scheme("4K max min min 100ms max pageout", fast_attrs)
+        scheme.quota = Quota(size_bytes=1 * MIB, reset_interval_us=1 * SEC)
+        stack(kernel, fast_attrs, queue, [scheme])
+        kernel.apply_access(BASE, BASE + 32 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(kernel, queue, [], n_epochs=50)
+        # ~5 windows of 1 MiB each must have been reclaimed despite every
+        # matching region being far larger than one window's budget.
+        assert 3 * MIB <= scheme.stats.sz_applied <= 8 * MIB
+
+
+class TestWatermarks:
+    def test_always_on(self):
+        wm = Watermarks.always_on()
+        assert wm.update(0.5)
+        assert wm.update(1.0)
+
+    def test_activation_band(self):
+        wm = Watermarks(high=0.9, mid=0.5, low=0.1)
+        assert not wm.update(0.95)  # plenty free: stay off
+        assert wm.update(0.4)  # below mid: activate
+        assert wm.update(0.8)  # hysteresis: stays on below high
+        assert not wm.update(0.95)  # above high: off again
+
+    def test_low_cutoff(self):
+        wm = Watermarks(high=0.9, mid=0.5, low=0.1)
+        wm.update(0.4)
+        assert not wm.update(0.05)  # critical: emergency reclaim's job
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(SchemeError):
+            Watermarks(high=0.2, mid=0.5, low=0.1)
+
+    def test_out_of_range_metric_rejected(self):
+        with pytest.raises(SchemeError):
+            Watermarks().update(1.5)
+
+    def test_watermark_gates_engine(self, kernel, fast_attrs, queue):
+        kernel.mmap(BASE, 64 * MIB)
+        scheme = parse_scheme("4K max min min 100ms max pageout", fast_attrs)
+        # Guest has 256 MiB and the workload uses ~64 MiB, so free stays
+        # around 75% — above mid=0.5 the scheme must never activate.
+        scheme.watermarks = Watermarks(high=0.9, mid=0.5, low=0.1)
+        stack(kernel, fast_attrs, queue, [scheme])
+        kernel.apply_access(BASE, BASE + 32 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(kernel, queue, [], n_epochs=10)
+        assert scheme.stats.nr_applied == 0
+        assert kernel.rss_bytes() == 32 * MIB
+
+
+class TestStats:
+    def test_counters(self):
+        stats = SchemeStats()
+        stats.record_tried(100)
+        stats.record_tried(200)
+        stats.record_applied(150)
+        assert stats.nr_tried == 2
+        assert stats.sz_tried == 300
+        assert stats.nr_applied == 1
+        assert stats.sz_applied == 150
+
+    def test_avg_tried_per_interval(self):
+        stats = SchemeStats()
+        stats.nr_intervals = 4
+        stats.record_tried(100)
+        stats.record_tried(100)
+        assert stats.avg_tried_bytes_per_interval() == 50.0
+
+    def test_wss_estimator_percentiles(self):
+        est = WssEstimator()
+        for i, value in enumerate([10, 20, 30, 40, 50]):
+            est.record(i, value)
+        assert est.percentile(0) == 10
+        assert est.percentile(50) == 30
+        assert est.percentile(100) == 50
+        assert est.average() == 30
+
+    def test_wss_estimator_empty(self):
+        est = WssEstimator()
+        assert est.percentile(50) == 0.0
+        assert est.average() == 0.0

@@ -1,0 +1,208 @@
+"""Units: size/time/percent parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    MINUTE,
+    MSEC,
+    SEC,
+    TIB,
+    UNLIMITED,
+    decode_raw_count,
+    format_size,
+    format_time,
+    parse_percent,
+    parse_size,
+    parse_time,
+)
+
+
+class TestParseSize:
+    def test_bare_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_kib(self):
+        assert parse_size("4K") == 4 * KIB
+
+    def test_kb_alias(self):
+        assert parse_size("4KB") == 4 * KIB
+
+    def test_mib(self):
+        assert parse_size("2MB") == 2 * MIB
+
+    def test_mib_suffix(self):
+        assert parse_size("2MiB") == 2 * MIB
+
+    def test_gib(self):
+        assert parse_size("1G") == GIB
+
+    def test_tib(self):
+        assert parse_size("3TiB") == 3 * TIB
+
+    def test_fractional(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_min_keyword(self):
+        assert parse_size("min") == 0
+
+    def test_max_keyword(self):
+        assert parse_size("max") == UNLIMITED
+
+    def test_keywords_case_insensitive(self):
+        assert parse_size("MAX") == UNLIMITED
+        assert parse_size("Min") == 0
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  2MB ") == 2 * MIB
+
+    def test_fractional_bytes_rounded(self):
+        assert parse_size("1.0001K") == 1024
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_size("two megabytes")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_size("4Q")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_size(4096)
+
+
+class TestParseTime:
+    def test_us(self):
+        assert parse_time("100us") == 100
+
+    def test_ms(self):
+        assert parse_time("5ms") == 5 * MSEC
+
+    def test_seconds(self):
+        assert parse_time("7s") == 7 * SEC
+
+    def test_minutes(self):
+        assert parse_time("2m") == 2 * MINUTE
+
+    def test_hours(self):
+        assert parse_time("1h") == 3600 * SEC
+
+    def test_fractional_seconds(self):
+        assert parse_time("1.5s") == 1_500_000
+
+    def test_min_max_keywords(self):
+        assert parse_time("min") == 0
+        assert parse_time("max") == UNLIMITED
+
+    def test_bare_number_rejected(self):
+        with pytest.raises(ParseError):
+            parse_time("100")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_time("soon")
+
+
+class TestParsePercent:
+    def test_percentage(self):
+        assert parse_percent("80%") == pytest.approx(0.8)
+
+    def test_zero(self):
+        assert parse_percent("0%") == 0.0
+
+    def test_hundred(self):
+        assert parse_percent("100%") == 1.0
+
+    def test_min_max(self):
+        assert parse_percent("min") == 0.0
+        assert parse_percent("max") == 1.0
+
+    def test_raw_count_encoded_negative(self):
+        encoded = parse_percent("5")
+        assert encoded < 0
+        assert decode_raw_count(encoded) == 5
+
+    def test_raw_zero(self):
+        assert decode_raw_count(parse_percent("0")) == 0
+
+    def test_over_hundred_rejected(self):
+        with pytest.raises(ParseError):
+            parse_percent("120%")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParseError):
+            parse_percent("-5")
+
+    def test_fractional_count_rejected(self):
+        with pytest.raises(ParseError):
+            parse_percent("2.5")
+
+    def test_decode_fraction_rejected(self):
+        with pytest.raises(ParseError):
+            decode_raw_count(0.8)
+
+
+class TestFormat:
+    def test_format_size_exact(self):
+        assert format_size(2 * MIB) == "2MiB"
+        assert format_size(3 * GIB) == "3GiB"
+        assert format_size(512) == "512B"
+
+    def test_format_size_unlimited(self):
+        assert format_size(UNLIMITED) == "max"
+
+    def test_format_size_inexact(self):
+        assert format_size(1536 * KIB + 1) .endswith("MiB")
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ParseError):
+            format_size(-1)
+
+    def test_format_time_exact(self):
+        assert format_time(5 * SEC) == "5s"
+        assert format_time(2 * MINUTE) == "2m"
+        assert format_time(100) == "100us"
+
+    def test_format_time_unlimited(self):
+        assert format_time(UNLIMITED) == "max"
+
+    def test_format_time_negative_rejected(self):
+        with pytest.raises(ParseError):
+            format_time(-5)
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=0, max_value=10 * TIB))
+    def test_size_roundtrip_close(self, nbytes):
+        # Human formatting may round; the roundtrip stays within 1%.
+        parsed = parse_size(format_size(nbytes))
+        assert abs(parsed - nbytes) <= max(1, nbytes) * 0.01
+
+    @given(
+        st.integers(min_value=0, max_value=40).flatmap(
+            lambda e: st.sampled_from([KIB, MIB, GIB]).map(lambda u: e * u)
+        )
+    )
+    def test_exact_size_roundtrip(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
+
+    @given(
+        st.integers(min_value=0, max_value=10_000).flatmap(
+            lambda n: st.sampled_from([1, MSEC, SEC, MINUTE]).map(lambda u: n * u)
+        )
+    )
+    def test_time_roundtrip(self, usecs):
+        assert parse_time(format_time(usecs)) == usecs
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_percent_roundtrip(self, pct):
+        assert parse_percent(f"{pct}%") == pytest.approx(pct / 100.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_raw_count_roundtrip(self, count):
+        assert decode_raw_count(parse_percent(str(count))) == count

@@ -1,0 +1,212 @@
+"""VMAs and address spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError, ConfigError
+from repro.sim.pagetable import PAGE_SIZE
+from repro.sim.vma import VMA, AddressSpace
+from repro.units import KIB, MIB
+
+BASE = 0x1_0000_0000
+
+
+class TestVMA:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigError):
+            VMA(BASE + 1, BASE + PAGE_SIZE + 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            VMA(BASE, BASE)
+
+    def test_size_and_pages(self):
+        vma = VMA(BASE, BASE + 16 * PAGE_SIZE)
+        assert vma.size == 16 * PAGE_SIZE
+        assert vma.pages.n_pages == 16
+
+    def test_page_index(self):
+        vma = VMA(BASE, BASE + 16 * PAGE_SIZE)
+        assert vma.page_index(BASE) == 0
+        assert vma.page_index(BASE + 5 * PAGE_SIZE + 100) == 5
+
+    def test_page_index_out_of_range(self):
+        vma = VMA(BASE, BASE + PAGE_SIZE)
+        with pytest.raises(AddressSpaceError):
+            vma.page_index(BASE + PAGE_SIZE)
+
+
+class TestAddressSpace:
+    def test_mmap_returns_sorted(self):
+        space = AddressSpace()
+        space.mmap(BASE + 10 * MIB, MIB)
+        space.mmap(BASE, MIB)
+        assert [v.start for v in space.vmas] == [BASE, BASE + 10 * MIB]
+
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.mmap(BASE, 2 * MIB)
+        with pytest.raises(AddressSpaceError):
+            space.mmap(BASE + MIB, 2 * MIB)
+
+    def test_adjacent_allowed(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + MIB, MIB)
+        assert len(space.vmas) == 2
+
+    def test_munmap(self):
+        space = AddressSpace()
+        vma = space.mmap(BASE, MIB)
+        space.munmap(vma)
+        assert space.vmas == []
+
+    def test_munmap_unknown_rejected(self):
+        space = AddressSpace()
+        vma = VMA(BASE, BASE + MIB)
+        with pytest.raises(AddressSpaceError):
+            space.munmap(vma)
+
+    def test_generation_bumps_on_layout_change(self):
+        space = AddressSpace()
+        g0 = space.generation
+        vma = space.mmap(BASE, MIB)
+        g1 = space.generation
+        space.munmap(vma)
+        g2 = space.generation
+        assert g0 < g1 < g2
+
+    def test_find(self):
+        space = AddressSpace()
+        vma = space.mmap(BASE, MIB)
+        assert space.find(BASE + 100) is vma
+        assert space.find(BASE - 1) is None
+        assert space.find(BASE + MIB) is None
+
+    def test_find_empty_space(self):
+        assert AddressSpace().find(BASE) is None
+
+
+class TestResolve:
+    def test_resolve_mixed(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + 10 * MIB, MIB)
+        addrs = np.array(
+            [BASE, BASE + MIB - 1, BASE + 2 * MIB, BASE + 10 * MIB + PAGE_SIZE]
+        )
+        vma_idx, page_idx, mapped = space.resolve(addrs)
+        assert list(mapped) == [True, True, False, True]
+        assert list(vma_idx) == [0, 0, -1, 1]
+        assert page_idx[0] == 0
+        assert page_idx[1] == MIB // PAGE_SIZE - 1
+        assert page_idx[3] == 1
+
+    def test_resolve_empty_space(self):
+        space = AddressSpace()
+        _, _, mapped = space.resolve(np.array([BASE]))
+        assert not mapped.any()
+
+    def test_resolve_below_first_vma(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        vma_idx, _, mapped = space.resolve(np.array([BASE - PAGE_SIZE]))
+        assert not mapped[0]
+        assert vma_idx[0] == -1
+
+
+class TestRangesIn:
+    def test_single_vma_clip(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        ranges = list(space.ranges_in(BASE + PAGE_SIZE, BASE + 3 * PAGE_SIZE))
+        assert len(ranges) == 1
+        _, lo, hi = ranges[0]
+        assert (lo, hi) == (1, 3)
+
+    def test_spans_multiple_vmas(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + 2 * MIB, MIB)
+        ranges = list(space.ranges_in(BASE, BASE + 3 * MIB))
+        assert len(ranges) == 2
+
+    def test_gap_only_range_is_empty(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + 4 * MIB, MIB)
+        assert list(space.ranges_in(BASE + 2 * MIB, BASE + 3 * MIB)) == []
+
+    def test_partial_page_rounds_up(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        ranges = list(space.ranges_in(BASE, BASE + PAGE_SIZE + 7))
+        _, lo, hi = ranges[0]
+        assert (lo, hi) == (0, 2)
+
+    def test_empty_range(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        assert list(space.ranges_in(BASE + MIB, BASE)) == []
+
+
+class TestThreeRegions:
+    def test_classic_layout(self):
+        """heap | big gap | mmap area | big gap | stack."""
+        space = AddressSpace()
+        space.mmap(0x5600_0000_0000, 8 * MIB, "heap")
+        space.mmap(0x7F00_0000_0000, 512 * MIB, "data")
+        space.mmap(0x7FFF_FFC0_0000, 256 * KIB, "stack")
+        regions = space.three_regions()
+        assert len(regions) == 3
+        assert regions[0] == (0x5600_0000_0000, 0x5600_0000_0000 + 8 * MIB)
+        assert regions[1] == (0x7F00_0000_0000, 0x7F00_0000_0000 + 512 * MIB)
+        assert regions[2][1] == 0x7FFF_FFC0_0000 + 256 * KIB
+
+    def test_single_vma_yields_one_region(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        assert space.three_regions() == [(BASE, BASE + MIB)]
+
+    def test_two_vmas_small_gap_spanned(self):
+        # With only one gap, three_regions splits on it (it is one of
+        # the two biggest by definition).
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + 2 * MIB, MIB)
+        regions = space.three_regions()
+        assert len(regions) == 2
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AddressSpace().three_regions()
+
+
+class TestAccounting:
+    def test_mapped_and_resident_bytes(self):
+        space = AddressSpace()
+        vma = space.mmap(BASE, MIB)
+        assert space.mapped_bytes() == MIB
+        assert space.resident_bytes() == 0
+        vma.pages.touch_range(0, 10, now=1)
+        assert space.resident_bytes() == 10 * PAGE_SIZE
+
+    def test_swapped_bytes(self):
+        space = AddressSpace()
+        vma = space.mmap(BASE, MIB)
+        vma.pages.touch_range(0, 10, now=1)
+        vma.pages.pageout_range(0, 4)  # returns (idx, n_dirty)
+        assert space.swapped_bytes() == 4 * PAGE_SIZE
+
+    def test_span(self):
+        space = AddressSpace()
+        space.mmap(BASE, MIB)
+        space.mmap(BASE + 10 * MIB, MIB)
+        assert space.span() == (BASE, BASE + 11 * MIB)
+
+    def test_clear_rates_cascades(self):
+        space = AddressSpace()
+        vma = space.mmap(BASE, MIB)
+        vma.pages.add_rate(0, 10, 5.0)
+        space.clear_rates()
+        assert not vma.pages.rate.any()

@@ -1,0 +1,333 @@
+"""Workload catalog and pattern components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.pagetable import PAGE_SIZE
+from repro.workloads.base import Burst, Workload, WorkloadSpec
+from repro.workloads.parsec import PARSEC3
+from repro.workloads.patterns import (
+    ColdInit,
+    CyclicSweep,
+    Hotspot,
+    LinearStream,
+    PhasedHotspot,
+    RandomAccess,
+)
+from repro.workloads.registry import (
+    all_workloads,
+    get_workload,
+    parsec_names,
+    splash_names,
+)
+from repro.workloads.serverless import serverless_spec
+from repro.workloads.splash import SPLASH2X
+from repro.units import MIB, MSEC, SEC
+
+EPOCH = 100 * MSEC
+RNG = np.random.default_rng(0)
+
+
+class TestRegistry:
+    def test_24_benchmark_workloads(self):
+        assert len(all_workloads()) == 24
+        assert len(PARSEC3) == 12
+        assert len(SPLASH2X) == 12
+
+    def test_paper_workload_names_present(self):
+        # The names Figure 7 lists.
+        expected_parsec = {
+            "blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+            "fluidanimate", "freqmine", "raytrace", "streamcluster",
+            "swaptions", "vips", "x264",
+        }
+        expected_splash = {
+            "barnes", "fft", "lu_cb", "lu_ncb", "ocean_cp", "ocean_ncp",
+            "radiosity", "radix", "raytrace", "volrend", "water_nsquared",
+            "water_spatial",
+        }
+        assert set(PARSEC3) == expected_parsec
+        assert set(SPLASH2X) == expected_splash
+
+    def test_lookup_by_full_name(self):
+        assert get_workload("parsec3/freqmine").name == "freqmine"
+        assert get_workload("splash2x/ocean_ncp").suite == "splash2x"
+
+    def test_lookup_by_figure_prefix(self):
+        assert get_workload("P/freqmine").name == "freqmine"
+        assert get_workload("S/fft").name == "fft"
+
+    def test_production_workload(self):
+        assert get_workload("production/serverless").suite == "production"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_workload("parsec3/doom")
+        with pytest.raises(ConfigError):
+            get_workload("freqmine")  # needs suite/name
+
+    def test_name_lists(self):
+        assert len(parsec_names()) == 12
+        assert all(n.startswith("parsec3/") for n in parsec_names())
+        assert len(splash_names()) == 12
+
+
+class TestSpecValidation:
+    def test_all_specs_valid(self):
+        for spec in all_workloads():
+            assert spec.footprint >= PAGE_SIZE
+            assert spec.duration_us >= spec.epoch_us
+            for comp in spec.components:
+                assert comp.offset + comp.size <= spec.footprint
+
+    def test_component_overflow_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(
+                name="bad",
+                suite="test",
+                footprint=MIB,
+                duration_us=SEC,
+                components=(Hotspot(offset=0, size=2 * MIB),),
+            )
+
+    def test_scaled_changes_duration_only(self):
+        spec = get_workload("parsec3/freqmine")
+        scaled = spec.scaled(0.5)
+        assert scaled.duration_us == spec.duration_us // 2
+        assert scaled.footprint == spec.footprint
+        assert scaled.components == spec.components
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            get_workload("parsec3/freqmine").scaled(0)
+
+    def test_serverless_cold_share(self):
+        spec = serverless_spec(footprint_mib=100, cold_share=0.9)
+        cold = spec.components[0]
+        assert isinstance(cold, ColdInit)
+        assert cold.size >= 0.85 * spec.footprint
+
+
+class TestBurst:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Burst(10, 10)
+        with pytest.raises(ConfigError):
+            Burst(0, 10, fraction=0.0)
+        with pytest.raises(ConfigError):
+            Burst(0, 10, weight=-1.0)
+
+
+class TestHotspot:
+    def test_emits_full_range_every_epoch(self):
+        comp = Hotspot(offset=0, size=8 * MIB, touches_per_sec=1000)
+        for t in (0, 5 * SEC, 100 * SEC):
+            (burst,) = comp.bursts(t, EPOCH, RNG)
+            assert (burst.start, burst.end) == (0, 8 * MIB)
+            assert burst.touches_per_page == pytest.approx(100.0)
+
+    def test_pages_per_epoch(self):
+        comp = Hotspot(offset=0, size=8 * MIB)
+        assert comp.pages_per_epoch(EPOCH) == 8 * MIB / PAGE_SIZE
+
+    def test_sparse_stride(self):
+        comp = Hotspot(offset=0, size=8 * MIB, stride=4)
+        (burst,) = comp.bursts(0, EPOCH, RNG)
+        assert burst.stride == 4
+        assert comp.pages_per_epoch(EPOCH) == 8 * MIB / PAGE_SIZE / 4
+
+
+class TestCyclicSweep:
+    def test_window_advances_within_period(self):
+        comp = CyclicSweep(offset=0, size=100 * MIB, period_us=10 * SEC)
+        (b0,) = comp.bursts(0, EPOCH, RNG)
+        (b1,) = comp.bursts(5 * SEC, EPOCH, RNG)
+        assert b0.start == 0
+        assert b1.start == pytest.approx(50 * MIB, abs=PAGE_SIZE)
+
+    def test_full_coverage_over_one_period(self):
+        comp = CyclicSweep(offset=0, size=100 * MIB, period_us=10 * SEC)
+        covered = np.zeros(100 * MIB // PAGE_SIZE, dtype=bool)
+        for t in range(0, 10 * SEC, EPOCH):
+            for burst in comp.bursts(t, EPOCH, RNG):
+                covered[burst.start // PAGE_SIZE : burst.end // PAGE_SIZE] = True
+        assert covered.all()
+
+    def test_idle_outside_active_share(self):
+        comp = CyclicSweep(
+            offset=0, size=100 * MIB, period_us=10 * SEC, active_share=0.3
+        )
+        assert comp.bursts(5 * SEC, EPOCH, RNG) == []
+        assert comp.bursts(0, EPOCH, RNG) != []
+
+    def test_pattern_repeats_across_periods(self):
+        comp = CyclicSweep(offset=0, size=100 * MIB, period_us=10 * SEC)
+        (b0,) = comp.bursts(1 * SEC, EPOCH, RNG)
+        (b1,) = comp.bursts(11 * SEC, EPOCH, RNG)
+        assert (b0.start, b0.end) == (b1.start, b1.end)
+
+    def test_stall_boost_propagates(self):
+        comp = CyclicSweep(
+            offset=0, size=100 * MIB, period_us=10 * SEC, stall_boost=5.0
+        )
+        (burst,) = comp.bursts(0, EPOCH, RNG)
+        assert burst.weight == 5.0
+        plain = CyclicSweep(offset=0, size=100 * MIB, period_us=10 * SEC)
+        assert comp.pages_per_epoch(EPOCH) == 5 * plain.pages_per_epoch(EPOCH)
+
+
+class TestLinearStream:
+    def test_single_pass_then_idle(self):
+        comp = LinearStream(offset=0, size=100 * MIB, span_us=10 * SEC)
+        assert comp.bursts(5 * SEC, EPOCH, RNG) != []
+        assert comp.bursts(11 * SEC, EPOCH, RNG) == []
+
+    def test_warm_tail_trails_front(self):
+        comp = LinearStream(
+            offset=0, size=100 * MIB, span_us=10 * SEC, warm_tail_bytes=10 * MIB
+        )
+        bursts = comp.bursts(5 * SEC, EPOCH, RNG)
+        assert len(bursts) == 2
+        front, tail = bursts
+        assert tail.end == front.start
+        assert front.start - tail.start <= 10 * MIB
+
+    def test_front_covers_whole_range(self):
+        comp = LinearStream(offset=0, size=100 * MIB, span_us=10 * SEC)
+        covered = np.zeros(100 * MIB // PAGE_SIZE, dtype=bool)
+        for t in range(0, 10 * SEC, EPOCH):
+            for burst in comp.bursts(t, EPOCH, RNG):
+                covered[burst.start // PAGE_SIZE : burst.end // PAGE_SIZE] = True
+        assert covered.all()
+
+
+class TestPhasedHotspot:
+    def test_window_jumps_every_dwell(self):
+        comp = PhasedHotspot(
+            offset=0, size=100 * MIB, hot_bytes=10 * MIB, dwell_us=5 * SEC, n_positions=4
+        )
+        (b0,) = comp.bursts(0, EPOCH, RNG)
+        (b1,) = comp.bursts(5 * SEC + EPOCH, EPOCH, RNG)
+        assert b0.start != b1.start
+
+    def test_positions_cycle(self):
+        comp = PhasedHotspot(
+            offset=0, size=100 * MIB, hot_bytes=10 * MIB, dwell_us=5 * SEC, n_positions=4
+        )
+        (b0,) = comp.bursts(0, EPOCH, RNG)
+        (b_again,) = comp.bursts(20 * SEC, EPOCH, RNG)
+        assert (b0.start, b0.end) == (b_again.start, b_again.end)
+
+    def test_window_within_component(self):
+        comp = PhasedHotspot(
+            offset=0, size=100 * MIB, hot_bytes=10 * MIB, dwell_us=SEC, n_positions=7
+        )
+        for t in range(0, 10 * SEC, SEC):
+            (burst,) = comp.bursts(t, EPOCH, RNG)
+            assert 0 <= burst.start < burst.end <= 100 * MIB
+
+    def test_hot_bytes_must_fit(self):
+        with pytest.raises(ConfigError):
+            PhasedHotspot(offset=0, size=MIB, hot_bytes=2 * MIB)
+
+
+class TestColdInit:
+    def test_touched_only_during_init(self):
+        comp = ColdInit(offset=0, size=100 * MIB, init_us=2 * SEC)
+        assert comp.bursts(1 * SEC, EPOCH, RNG) != []
+        assert comp.bursts(3 * SEC, EPOCH, RNG) == []
+
+    def test_init_covers_everything(self):
+        comp = ColdInit(offset=0, size=100 * MIB, init_us=2 * SEC)
+        covered = np.zeros(100 * MIB // PAGE_SIZE, dtype=bool)
+        for t in range(0, 2 * SEC, EPOCH):
+            for burst in comp.bursts(t, EPOCH, RNG):
+                covered[burst.start // PAGE_SIZE : burst.end // PAGE_SIZE] = True
+        assert covered.all()
+
+    def test_steady_state_pages_is_zero(self):
+        comp = ColdInit(offset=0, size=100 * MIB)
+        assert comp.pages_per_epoch(EPOCH) == 0.0
+
+
+class TestRandomAccess:
+    def test_fraction_scales_with_rate(self):
+        comp = RandomAccess(offset=0, size=100 * MIB, pages_per_sec=25600)
+        (burst,) = comp.bursts(0, EPOCH, RNG)
+        assert burst.fraction == pytest.approx(0.1)  # 2560 of 25600 pages
+
+    def test_pages_per_epoch_capped(self):
+        comp = RandomAccess(offset=0, size=MIB, pages_per_sec=10**9)
+        assert comp.pages_per_epoch(EPOCH) == MIB / PAGE_SIZE
+
+
+class TestCatalogSmoke:
+    """Every catalog workload must run end to end under every config
+    (at a tiny time scale)."""
+
+    @pytest.mark.parametrize(
+        "name", [spec.full_name for spec in all_workloads()]
+    )
+    def test_baseline_runs(self, name):
+        from repro.runner import run_experiment
+
+        result = run_experiment(name, config="baseline", time_scale=0.02, seed=0)
+        assert result.runtime_us > 0
+        assert result.avg_rss_bytes > 0
+
+    def test_monitored_run_on_one_per_suite(self):
+        from repro.runner import run_experiment
+
+        for name in ("parsec3/swaptions", "splash2x/volrend"):
+            result = run_experiment(name, config="prcl", time_scale=0.1, seed=0)
+            assert result.monitor_checks > 0
+
+
+class TestWorkloadDriver:
+    def test_setup_creates_three_vmas(self, kernel):
+        spec = serverless_spec(footprint_mib=64, duration_s=10)
+        work = Workload(spec, kernel, seed=1)
+        work.setup()
+        names = [v.name for v in kernel.space.vmas]
+        assert names == ["heap", "data", "stack"]
+
+    def test_run_epoch_touches_memory(self, kernel):
+        spec = serverless_spec(footprint_mib=64, duration_s=10)
+        work = Workload(spec, kernel, seed=1)
+        work.setup()
+        work.run_epoch(0)
+        assert kernel.rss_bytes() > 0
+        assert work.epochs_run == 1
+
+    def test_run_epoch_requires_setup(self, kernel):
+        spec = serverless_spec(footprint_mib=64, duration_s=10)
+        work = Workload(spec, kernel, seed=1)
+        with pytest.raises(ConfigError):
+            work.run_epoch(0)
+
+    def test_stall_weight_realises_mem_share(self, kernel):
+        """After calibration, steady-state memory stall sits near the
+        spec's mem_share of epoch time."""
+        spec = WorkloadSpec(
+            name="cal",
+            suite="test",
+            footprint=64 * MIB,
+            duration_us=10 * SEC,
+            components=(Hotspot(offset=0, size=32 * MIB, touches_per_sec=1000),),
+            compute_share=0.6,
+            mem_share=0.4,
+        )
+        work = Workload(spec, kernel, seed=1)
+        work.setup()
+        work.run_epoch(0)  # warm-up (minor faults)
+        stall_before = kernel.metrics.runtime.memory_stall_us
+        work.run_epoch(spec.epoch_us)
+        stall = kernel.metrics.runtime.memory_stall_us - stall_before
+        compute = spec.epoch_us * spec.compute_share
+        share = stall / (stall + compute)
+        assert share == pytest.approx(0.4, abs=0.05)
+
+    def test_n_epochs(self):
+        spec = serverless_spec(footprint_mib=64, duration_s=10)
+        assert spec.duration_us // spec.epoch_us == 100
