@@ -3,67 +3,34 @@
 The paper models performance as degrading gradually, then steeply after
 a first inflection (thrashing starts), then gradually again (thrashing
 saturates), with memory efficiency behaving oppositely; the unified
-score then shows one of six patterns.  This benchmark instantiates that
-analytic model, derives the score for six parameterisations, and checks
-that each of the six patterns emerges and is classified as such.
+score then shows one of six patterns.  The analytic model lives in
+:mod:`repro.analysis.score_model`; this benchmark drives it through the
+sweep subsystem (the ``fig3`` preset grid), then checks that each of
+the six patterns emerges and is classified as such.
 """
-
-import numpy as np
 
 from repro.analysis.ascii_plot import ascii_series
 from repro.analysis.patterns import PATTERN_NAMES, classify_score_pattern
-from repro.tuning.score import ScoreFunction
-
-
-def _sigmoid(a, knee, width=0.08):
-    return 1.0 / (1.0 + np.exp(-(a - knee) / width))
-
-
-def perf_mem_curves(a, perf_floor, pk1, pk2, mem_gain, mk1, mk2):
-    """Paper Figure 3 left/middle: performance falls through two
-    inflection points (thrashing starts, thrashing saturates) as
-    aggressiveness grows; memory efficiency rises mirror-image through
-    its own two inflections."""
-    perf = 1.0 - (1.0 - perf_floor) * (0.5 * _sigmoid(a, pk1) + 0.5 * _sigmoid(a, pk2))
-    mem = 1.0 + mem_gain * (0.5 * _sigmoid(a, mk1) + 0.5 * _sigmoid(a, mk2))
-    return perf, mem
-
-
-#: Six parameterisations — (perf floor + inflection points, memory gain +
-#: inflection points, score weights) — chosen to realise the six patterns.
-#: The physical reading: where the efficiency knees sit relative to the
-#: thrashing knees, and how the user weighs the two, decides the pattern.
-CASES = {
-    1: dict(perf_floor=0.97, pk1=0.40, pk2=0.80, mem_gain=3.0, mk1=0.20, mk2=0.60, pw=0.20, mw=0.80),
-    2: dict(perf_floor=0.72, pk1=0.55, pk2=0.85, mem_gain=2.0, mk1=0.15, mk2=0.35, pw=0.50, mw=0.50),
-    3: dict(perf_floor=0.40, pk1=0.50, pk2=0.80, mem_gain=1.2, mk1=0.15, mk2=0.30, pw=0.70, mw=0.30),
-    4: dict(perf_floor=0.40, pk1=0.30, pk2=0.70, mem_gain=0.15, mk1=0.30, mk2=0.70, pw=0.90, mw=0.10),
-    5: dict(perf_floor=0.55, pk1=0.15, pk2=0.35, mem_gain=2.0, mk1=0.60, mk2=0.85, pw=0.70, mw=0.30),
-    6: dict(perf_floor=0.75, pk1=0.15, pk2=0.35, mem_gain=3.5, mk1=0.60, mk2=0.85, pw=0.60, mw=0.40),
-}
-
-
-def score_curve(case):
-    a = np.linspace(0.0, 1.0, 41)
-    perf, mem = perf_mem_curves(
-        a, case["perf_floor"], case["pk1"], case["pk2"],
-        case["mem_gain"], case["mk1"], case["mk2"],
-    )
-    score_fn = ScoreFunction(
-        perf_weight=case["pw"], memory_weight=case["mw"], max_slowdown=1.0
-    )
-    # runtime = baseline / perf ; rss = baseline / mem_efficiency
-    scores = [
-        score_fn(100.0 / p, 100.0 / m, 100.0, 100.0) for p, m in zip(perf, mem)
-    ]
-    return a, np.array(scores)
+from repro.analysis.score_model import CASES
+from repro.sweep.presets import fig3_grid
+from repro.sweep.runner import SweepRunner
 
 
 def test_fig3_six_patterns(benchmark, report):
+    grid = fig3_grid()
+
     def run_all():
-        return {pid: score_curve(case) for pid, case in CASES.items()}
+        # Analytic points: in-process, uncached — the benchmark times
+        # the model itself plus the sweep machinery's overhead.
+        sweep = SweepRunner(grid, jobs=1, cache_dir=None).run()
+        assert sweep.n_failed == 0, [o.error for o in sweep.failures()]
+        return {
+            o.value["case"]: (o.value["aggressiveness"], o.value["scores"])
+            for o in sweep.outcomes
+        }
 
     curves = benchmark(run_all)
+    assert set(curves) == set(CASES)
 
     report.add("Figure 3: six score patterns for varying PAGEOUT aggressiveness")
     seen = {}

@@ -13,51 +13,55 @@ This is the paper's central table.  Headline shapes asserted:
 """
 
 from repro.analysis.report import fig7_table
-from repro.runner.experiment import run_experiment
 from repro.runner.results import average_rows, normalize
+from repro.sweep.presets import FIG7_CONFIGS, FIG7_SUBSET, fig7_grid
+from repro.sweep.runner import SweepRunner
 from repro.workloads.registry import all_workloads
 
-from conftest import FULL, effective_scale
+from conftest import BENCH_CACHE_DIR, BENCH_JOBS, FULL, effective_scale
 
-CONFIGS = ["rec", "prec", "thp", "ethp", "prcl"]
+CONFIGS = list(FIG7_CONFIGS)
 MACHINE = "i3.metal"
 
-SUBSET = [
-    "parsec3/blackscholes",
-    "parsec3/canneal",
-    "parsec3/dedup",
-    "parsec3/freqmine",
-    "parsec3/raytrace",
-    "parsec3/swaptions",
-    "splash2x/fft",
-    "splash2x/lu_ncb",
-    "splash2x/ocean_cp",
-    "splash2x/ocean_ncp",
-    "splash2x/volrend",
-    "splash2x/water_nsquared",
-]
+SUBSET = list(FIG7_SUBSET)
 
 
 def test_fig7_overhead_and_benefits(benchmark, report):
     specs = all_workloads() if FULL else [
         s for s in all_workloads() if s.full_name in SUBSET
     ]
+    grid = fig7_grid(
+        [s.full_name for s in specs],
+        configs=CONFIGS,
+        machine=MACHINE,
+        seed=0,
+        scales={s.full_name: effective_scale(s) for s in specs},
+    )
     per_config = {config: [] for config in CONFIGS}
     monitor_shares = {}
 
     def run_matrix():
-        for spec in specs:
-            scale = effective_scale(spec)
-            base = run_experiment(
-                spec, config="baseline", machine=MACHINE, seed=0, time_scale=scale
+        sweep = SweepRunner(
+            grid, jobs=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR
+        ).run()
+        assert sweep.n_failed == 0, [o.error for o in sweep.failures()]
+        runs = sweep.values()
+        baselines = {r.workload: r for r in runs if r.config == "baseline"}
+        for result in runs:
+            if result.config == "baseline":
+                continue
+            per_config[result.config].append(
+                normalize(result, baselines[result.workload])
             )
-            for config in CONFIGS:
-                result = run_experiment(
-                    spec, config=config, machine=MACHINE, seed=0, time_scale=scale
+            if result.config in ("rec", "prec"):
+                monitor_shares[(result.workload, result.config)] = (
+                    result.monitor_cpu_share
                 )
-                per_config[config].append(normalize(result, base))
-                if config in ("rec", "prec"):
-                    monitor_shares[(spec.full_name, config)] = result.monitor_cpu_share
+        report.add(
+            f"(sweep: {sweep.n_executed} executed + {sweep.n_cached} cached on "
+            f"{BENCH_JOBS} workers — {sweep.point_wall_s():.0f}s of simulation "
+            f"in {sweep.elapsed_s:.0f}s wall)"
+        )
         return per_config
 
     benchmark.pedantic(run_matrix, rounds=1, iterations=1)

@@ -9,7 +9,11 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_SCALE`` — time-scale factor applied to workload
   durations (default 0.15; the paper's full runs are 1.0);
 * ``REPRO_BENCH_FULL=1`` — run the complete workload sets and parameter
-  grids instead of the representative defaults.
+  grids instead of the representative defaults;
+* ``REPRO_BENCH_JOBS`` — worker processes for sweep-based benchmarks
+  (default: up to 4, bounded by the CPU count);
+* ``REPRO_BENCH_CACHE`` — sweep cache directory; unset (the default)
+  disables caching so benchmarks always measure real simulation.
 
 Absolute numbers will not match the paper (the substrate is a
 simulator); the *shapes* — who wins, by what factor, where crossovers
@@ -30,6 +34,10 @@ OUT_DIR = Path(__file__).parent / "out"
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 #: Full grids instead of representative subsets.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+#: Worker processes for sweep-based benchmarks.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
+#: Sweep cache directory (None = caching off, measure real work).
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 #: Minimum effective duration so scheme ages up to tens of seconds stay
 #: meaningful even under aggressive time scaling.

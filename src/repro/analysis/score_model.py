@@ -1,0 +1,68 @@
+"""The Figure 3 analytic model of score-vs-aggressiveness patterns.
+
+The paper models performance as degrading gradually, then steeply after
+a first inflection (thrashing starts), then gradually again (thrashing
+saturates), with memory efficiency behaving oppositely; the unified
+score then exhibits one of six characteristic patterns depending on
+where the efficiency knees sit relative to the thrashing knees and how
+the user weighs the two objectives.
+
+Previously private to ``benchmarks/bench_fig3_patterns.py``; promoted
+here so sweep workers (and anything else) can evaluate score curves by
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..tuning.score import ScoreFunction
+
+__all__ = ["CASES", "perf_mem_curves", "score_curve"]
+
+
+def _sigmoid(a, knee, width=0.08):
+    return 1.0 / (1.0 + np.exp(-(a - knee) / width))
+
+
+def perf_mem_curves(a, perf_floor, pk1, pk2, mem_gain, mk1, mk2):
+    """Paper Figure 3 left/middle: performance falls through two
+    inflection points (thrashing starts, thrashing saturates) as
+    aggressiveness grows; memory efficiency rises mirror-image through
+    its own two inflections."""
+    perf = 1.0 - (1.0 - perf_floor) * (0.5 * _sigmoid(a, pk1) + 0.5 * _sigmoid(a, pk2))
+    mem = 1.0 + mem_gain * (0.5 * _sigmoid(a, mk1) + 0.5 * _sigmoid(a, mk2))
+    return perf, mem
+
+
+#: Six parameterisations — (perf floor + inflection points, memory gain +
+#: inflection points, score weights) — chosen to realise the six patterns.
+#: The physical reading: where the efficiency knees sit relative to the
+#: thrashing knees, and how the user weighs the two, decides the pattern.
+CASES: Dict[int, dict] = {
+    1: dict(perf_floor=0.97, pk1=0.40, pk2=0.80, mem_gain=3.0, mk1=0.20, mk2=0.60, pw=0.20, mw=0.80),
+    2: dict(perf_floor=0.72, pk1=0.55, pk2=0.85, mem_gain=2.0, mk1=0.15, mk2=0.35, pw=0.50, mw=0.50),
+    3: dict(perf_floor=0.40, pk1=0.50, pk2=0.80, mem_gain=1.2, mk1=0.15, mk2=0.30, pw=0.70, mw=0.30),
+    4: dict(perf_floor=0.40, pk1=0.30, pk2=0.70, mem_gain=0.15, mk1=0.30, mk2=0.70, pw=0.90, mw=0.10),
+    5: dict(perf_floor=0.55, pk1=0.15, pk2=0.35, mem_gain=2.0, mk1=0.60, mk2=0.85, pw=0.70, mw=0.30),
+    6: dict(perf_floor=0.75, pk1=0.15, pk2=0.35, mem_gain=3.5, mk1=0.60, mk2=0.85, pw=0.60, mw=0.40),
+}
+
+
+def score_curve(case: dict, n_points: int = 41) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate one case's score curve over an aggressiveness grid."""
+    a = np.linspace(0.0, 1.0, n_points)
+    perf, mem = perf_mem_curves(
+        a, case["perf_floor"], case["pk1"], case["pk2"],
+        case["mem_gain"], case["mk1"], case["mk2"],
+    )
+    score_fn = ScoreFunction(
+        perf_weight=case["pw"], memory_weight=case["mw"], max_slowdown=1.0
+    )
+    # runtime = baseline / perf ; rss = baseline / mem_efficiency
+    scores = [
+        score_fn(100.0 / p, 100.0 / m, 100.0, 100.0) for p, m in zip(perf, mem)
+    ]
+    return a, np.array(scores)

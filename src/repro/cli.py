@@ -11,7 +11,11 @@ Mirrors the upstream user-space tooling's verbs:
   (Listing 1/3 format);
 * ``daos tune <workload>``               — auto-tune the reclamation
   scheme and report the chosen ``min_age`` (Figure 5 for one workload);
-* ``daos wss <workload>``                — working-set-size estimate.
+* ``daos wss <workload>``                — working-set-size estimate;
+* ``daos sweep``                         — run a whole grid of
+  experiments across a worker pool with on-disk result caching
+  (``--grid fig3``/``fig7`` presets, or ``--workloads``/``--configs``/
+  ``--seeds`` axes).
 
 Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 """
@@ -26,10 +30,13 @@ from .analysis.heatmap import build_heatmap, render_heatmap
 from .analysis.recording import heatmap_to_pgm, load_record, record_metadata, save_record
 from .analysis.report import format_normalized_rows
 from .analysis.wss import wss_from_snapshots
-from .errors import DaosError
+from .errors import ConfigError, DaosError
 from .runner.configs import CONFIGS, ExperimentConfig
 from .runner.experiment import autotune_scheme, run_experiment
 from .runner.results import normalize
+from .sweep.grid import SweepGrid
+from .sweep.presets import PRESETS, fig7_grid, summarize_fig7
+from .sweep.runner import SweepRunner
 from .units import MIB, format_size
 from .workloads.registry import all_workloads
 
@@ -78,6 +85,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_wss = sub.add_parser("wss", help="estimate the working set size")
     p_wss.add_argument("workload")
     p_wss.add_argument("--min-freq", type=float, default=0.05)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a grid of experiments in parallel with result caching"
+    )
+    p_sweep.add_argument(
+        "--grid", choices=sorted(PRESETS), help="preset grid (fig3 | fig7)"
+    )
+    p_sweep.add_argument(
+        "--workloads", help="comma-separated workload names, or 'all' (custom grids)"
+    )
+    p_sweep.add_argument(
+        "--configs", default="baseline,rec", help="comma-separated configuration names"
+    )
+    p_sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    p_sweep.add_argument(
+        "-j", "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=".daos-sweep-cache",
+        help="result cache directory (completed points resume from here)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
     return parser
 
 
@@ -237,6 +269,89 @@ def _cmd_wss(args) -> int:
     return 0
 
 
+def _sweep_grid_from_args(args):
+    """The grid (and its summariser) the sweep flags describe."""
+    if args.grid is not None:
+        preset = PRESETS[args.grid]
+        if args.grid == "fig3":
+            if args.workloads:
+                raise ConfigError(
+                    "--workloads has no effect with --grid fig3 "
+                    "(an analytic sweep with no workloads)"
+                )
+            return preset.build(), preset.summarize
+        workloads = (
+            _parse_workloads(args.workloads) if args.workloads else None
+        )
+        grid = preset.build(
+            **(dict(workloads=workloads) if workloads else {}),
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+        )
+        return grid, preset.summarize
+    if not args.workloads:
+        raise ConfigError("sweep needs --grid or --workloads")
+    workloads = _parse_workloads(args.workloads)
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        raise ConfigError(f"--seeds must be comma-separated integers: {args.seeds!r}")
+    for config in configs:
+        if config not in CONFIGS:
+            raise ConfigError(f"unknown configuration {config!r} in --configs")
+    grid = SweepGrid.from_axes(
+        "experiment",
+        {"workload": workloads, "config": configs, "seed": seeds},
+        fixed={"machine": args.machine, "time_scale": args.time_scale},
+    )
+    summarize = summarize_fig7 if "baseline" in configs else None
+    return grid, summarize
+
+
+def _parse_workloads(text):
+    if text == "all":
+        return [spec.full_name for spec in all_workloads()]
+    names = [w.strip() for w in text.split(",") if w.strip()]
+    known = {spec.full_name for spec in all_workloads()}
+    for name in names:
+        if name not in known:
+            raise ConfigError(f"unknown workload {name!r} in --workloads")
+    return names
+
+
+def _cmd_sweep(args) -> int:
+    grid, summarize = _sweep_grid_from_args(args)
+
+    def progress(done, total, outcome) -> None:
+        status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ran")
+        line = f"\rsweep [{done}/{total}] {status:6s} {outcome.point.label():<60.60s}"
+        sys.stderr.write(line)
+        sys.stderr.flush()
+
+    runner = SweepRunner(
+        grid,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
+    report = runner.run()
+    sys.stderr.write("\n")
+    print(
+        f"{report.n_total} points: {report.n_cached} cached, "
+        f"{report.n_executed} executed, {report.n_failed} failed "
+        f"in {report.elapsed_s:.1f}s wall "
+        f"({report.point_wall_s():.1f}s of point time)"
+    )
+    for outcome in report.failures():
+        print(f"FAILED {outcome.point.label()}: {outcome.error}", file=sys.stderr)
+    if summarize is not None and report.n_failed < report.n_total:
+        print()
+        print(summarize(report))
+    return 1 if report.n_failed else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "record": _cmd_record,
@@ -245,6 +360,7 @@ _COMMANDS = {
     "schemes": _cmd_schemes,
     "tune": _cmd_tune,
     "wss": _cmd_wss,
+    "sweep": _cmd_sweep,
 }
 
 

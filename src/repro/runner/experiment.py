@@ -10,6 +10,7 @@ the workload.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple, Union
 
 from ..errors import ConfigError
@@ -36,10 +37,15 @@ __all__ = ["run_experiment", "autotune_scheme"]
 
 
 def replace_quota(quota):
-    """Fresh per-run copy of a config's quota (quotas carry window state)."""
-    from ..schemes.quotas import Quota
+    """Fresh per-run copy of a config's quota (quotas carry window state).
 
-    return Quota(size_bytes=quota.size_bytes, reset_interval_us=quota.reset_interval_us)
+    Delegates to :meth:`~repro.schemes.quotas.Quota.fresh_clone`, which
+    copies *every* dataclass field — the earlier hand-rolled copy here
+    silently dropped any field beyond ``size_bytes``/``reset_interval_us``
+    (e.g. the prioritisation weights), so a reused config's second run
+    could differ from its first.
+    """
+    return quota.fresh_clone()
 
 #: khugepaged scan period under thp=always.
 _KHUGEPAGED_PERIOD_US = 1 * SEC
@@ -94,6 +100,7 @@ def run_experiment(
     what is being measured).  ``keep_snapshots`` > 0 retains up to that
     many aggregation snapshots for heatmap rendering.
     """
+    wall_start = time.perf_counter()
     spec = get_workload(workload) if isinstance(workload, str) else workload
     spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
     cfg = get_config(config) if isinstance(config, str) else config
@@ -195,6 +202,7 @@ def run_experiment(
         monitor_cpu_us=metrics.monitor_cpu_us,
         scheme_stats=scheme_stats,
         snapshots=snapshots,
+        wall_clock_us=(time.perf_counter() - wall_start) * 1e6,
     )
 
 

@@ -45,6 +45,11 @@ class RunResult:
     scheme_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Aggregation snapshots captured when the config records (rec/prec).
     snapshots: Optional[list] = None
+    #: Host wall-clock time the simulation itself took, in microseconds.
+    #: VOLATILE: measures the machine running the simulator, not the
+    #: simulation — excluded from sweep fingerprints and cache identity
+    #: (see ``repro.sweep.serialize.VOLATILE_FIELDS``).
+    wall_clock_us: float = 0.0
 
     @property
     def monitor_cpu_share(self) -> float:
@@ -52,6 +57,15 @@ class RunResult:
         if self.duration_us == 0:
             return 0.0
         return self.monitor_cpu_us / self.duration_us
+
+    @property
+    def sim_speedup(self) -> float:
+        """Virtual seconds simulated per host wall-clock second — the
+        simulator's own throughput metric (0.0 when timing was not
+        recorded, e.g. on hand-built results)."""
+        if self.wall_clock_us <= 0:
+            return 0.0
+        return self.duration_us / self.wall_clock_us
 
 
 @dataclass(frozen=True)

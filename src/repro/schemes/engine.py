@@ -66,12 +66,15 @@ class SchemesEngine:
             if not matching:
                 continue
             if scheme.quota is not None and scheme.quota.limited:
+                quota = scheme.quota
                 matching.sort(
                     key=lambda r: priority(
                         r.nr_accesses,
                         r.age,
                         attrs.max_nr_accesses,
                         prefer_cold=scheme.action in _COLD_ACTIONS,
+                        weight_nr_accesses=quota.weight_nr_accesses,
+                        weight_age=quota.weight_age,
                     ),
                     reverse=True,
                 )

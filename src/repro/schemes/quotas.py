@@ -10,7 +10,7 @@ spends its budget where the scheme's intent says it matters most.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from ..errors import SchemeError
 from ..units import SEC, UNLIMITED
@@ -20,20 +20,42 @@ __all__ = ["Quota"]
 
 @dataclass
 class Quota:
-    """Apply-size budget for one scheme."""
+    """Apply-size budget for one scheme.
+
+    Besides the budget itself, the quota carries the prioritisation
+    weights used when the budget is under pressure (upstream:
+    ``damos_quota``'s ``weight_nr_accesses`` / ``weight_age``): how much
+    the frequency and recency components count when ranking matching
+    regions for the limited budget.
+    """
 
     #: Maximum bytes the scheme may operate on per window (UNLIMITED = off).
     size_bytes: int = UNLIMITED
     #: Budget window length in microseconds.
     reset_interval_us: int = 1 * SEC
+    #: Priority weight of the access-frequency component.
+    weight_nr_accesses: float = 0.5
+    #: Priority weight of the age component.
+    weight_age: float = 0.5
 
     def __post_init__(self):
         if self.size_bytes < 0:
             raise SchemeError(f"quota size cannot be negative: {self.size_bytes}")
         if self.reset_interval_us <= 0:
             raise SchemeError("quota reset interval must be positive")
+        if self.weight_nr_accesses < 0 or self.weight_age < 0:
+            raise SchemeError("quota priority weights cannot be negative")
+        if self.weight_nr_accesses + self.weight_age <= 0:
+            raise SchemeError("quota priority weights cannot both be zero")
         self._charged = 0
         self._window_start = None
+
+    def fresh_clone(self) -> "Quota":
+        """A copy with every configuration field but pristine window
+        state.  Built from ``dataclasses.fields`` so a field added to
+        the config can never be silently dropped again (the
+        ``replace_quota`` bug: it hand-copied two fields)."""
+        return Quota(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     # ------------------------------------------------------------------
     def remaining(self, now: int) -> int:
@@ -57,17 +79,28 @@ class Quota:
         return self.size_bytes != UNLIMITED
 
 
-def priority(nr_accesses: int, age: int, max_nr_accesses: int, *, prefer_cold: bool) -> float:
+def priority(
+    nr_accesses: int,
+    age: int,
+    max_nr_accesses: int,
+    *,
+    prefer_cold: bool,
+    weight_nr_accesses: float = 0.5,
+    weight_age: float = 0.5,
+) -> float:
     """Region priority under quota pressure, higher = applied first.
 
     Follows the upstream formula's spirit: a blend of (inverse) access
-    frequency and age, each normalised to [0, 1].
+    frequency and age, each normalised to [0, 1] and weighted by the
+    quota's prioritisation weights.
     """
     if max_nr_accesses <= 0:
         raise SchemeError("max_nr_accesses must be positive")
+    total = weight_nr_accesses + weight_age
+    if total <= 0:
+        raise SchemeError("priority weights cannot both be zero")
     freq = min(1.0, nr_accesses / max_nr_accesses)
     # Ages beyond ~100 aggregations saturate.
     age_score = min(1.0, age / 100.0)
-    if prefer_cold:
-        return (1.0 - freq) * 0.5 + age_score * 0.5
-    return freq * 0.5 + age_score * 0.5
+    freq_score = (1.0 - freq) if prefer_cold else freq
+    return (freq_score * weight_nr_accesses + age_score * weight_age) / total

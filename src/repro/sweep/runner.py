@@ -1,0 +1,209 @@
+"""The sweep executor: cache lookup, pool fan-out, resumable results.
+
+Execution contract (the determinism tests pin it down):
+
+* every point is executed by :func:`_execute_payload`, whether serially
+  (``jobs=1``) or in a pool worker — both paths produce the *encoded*
+  canonical form, so a pooled sweep is byte-identical to a serial one;
+* a point's randomness comes entirely from its parameters (the
+  ``seed``), never from worker identity or scheduling order;
+* results are reported in grid order regardless of completion order;
+* completed points are written to the cache as they finish, so a sweep
+  that dies half-way resumes from where it was — only failed or missing
+  points re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigError
+from .cache import ResultCache, code_version_tag, point_key
+from .grid import SweepGrid, SweepPoint
+from .points import get_point_function
+from .serialize import canonical_json, decode_value, encode_value
+
+__all__ = ["SweepRunner", "SweepReport", "SweepOutcome"]
+
+#: progress(done, total, outcome) — invoked once per finished point.
+ProgressFn = Callable[[int, int, "SweepOutcome"], None]
+
+
+def _execute_payload(payload: Tuple[int, str, tuple]) -> Tuple[int, Optional[str], Optional[str], float]:
+    """Run one point; returns ``(index, encoded_json, error, wall_s)``.
+
+    Module-level so ``spawn`` workers can unpickle it.  Encoding happens
+    *inside* the executing process: the parent only ever sees the
+    canonical form, keeping pool and serial paths exactly equivalent.
+    """
+    index, fn_name, items = payload
+    start = time.perf_counter()
+    try:
+        fn = get_point_function(fn_name)
+        value = fn(dict(items))
+        encoded = canonical_json(encode_value(value))
+        return index, encoded, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 — one bad point must not kill the sweep
+        error = f"{type(exc).__name__}: {exc}"
+        return index, None, error, time.perf_counter() - start
+
+
+@dataclass
+class SweepOutcome:
+    """One point's result (or failure) within a sweep."""
+
+    point: SweepPoint
+    key: str
+    value: Any = None
+    cached: bool = False
+    error: Optional[str] = None
+    #: Wall-clock seconds the point took where it actually ran (for a
+    #: cache hit: the original run's time, from the cache metadata).
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of one sweep, in grid order."""
+
+    outcomes: List[SweepOutcome] = field(default_factory=list)
+    #: Wall-clock seconds the whole sweep took (including cache hits).
+    elapsed_s: float = 0.0
+
+    @property
+    def n_total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached and o.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def values(self) -> List[Any]:
+        """Successful results, grid order."""
+        return [o.value for o in self.outcomes if o.ok]
+
+    def failures(self) -> List[SweepOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def point_wall_s(self) -> float:
+        """Sum of per-point wall clocks (= serial cost of the sweep)."""
+        return sum(o.wall_s for o in self.outcomes)
+
+
+class SweepRunner:
+    """Execute a :class:`~repro.sweep.grid.SweepGrid`.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans out over a
+    ``multiprocessing`` pool (``spawn`` start method: workers import a
+    clean interpreter, so results cannot depend on parent-process
+    state).  ``cache_dir=None`` disables caching entirely.
+    """
+
+    def __init__(
+        self,
+        grid: SweepGrid,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressFn] = None,
+        start_method: str = "spawn",
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be at least 1: {jobs}")
+        self.grid = grid
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepReport:
+        started = time.perf_counter()
+        points = self.grid.points()
+        version = code_version_tag()
+        keys = [point_key(point, version) for point in points]
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
+        done = 0
+
+        def finish(index: int, outcome: SweepOutcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(points), outcome)
+
+        # --- cache pass -------------------------------------------------
+        pending: List[int] = []
+        for index, (point, key) in enumerate(zip(points, keys)):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                value, meta = hit
+                finish(
+                    index,
+                    SweepOutcome(
+                        point=point,
+                        key=key,
+                        value=value,
+                        cached=True,
+                        wall_s=float(meta.get("wall_s", 0.0)),
+                    ),
+                )
+            else:
+                pending.append(index)
+
+        # --- execution pass ---------------------------------------------
+        def handle(raw: Tuple[int, Optional[str], Optional[str], float]) -> None:
+            index, encoded, error, wall_s = raw
+            point, key = points[index], keys[index]
+            if error is not None:
+                finish(
+                    index,
+                    SweepOutcome(point=point, key=key, error=error, wall_s=wall_s),
+                )
+                return
+            value = decode_value(json.loads(encoded))
+            if self.cache is not None:
+                self.cache.put(
+                    key,
+                    json.loads(encoded),
+                    point=point,
+                    meta={"wall_s": wall_s},
+                )
+            finish(
+                index,
+                SweepOutcome(point=point, key=key, value=value, wall_s=wall_s),
+            )
+
+        payloads = [(index, points[index].fn, points[index].items) for index in pending]
+        if payloads:
+            if self.jobs == 1 or len(payloads) == 1:
+                for payload in payloads:
+                    handle(_execute_payload(payload))
+            else:
+                context = multiprocessing.get_context(self.start_method)
+                workers = min(self.jobs, len(payloads))
+                with context.Pool(processes=workers) as pool:
+                    for raw in pool.imap_unordered(_execute_payload, payloads):
+                        handle(raw)
+
+        return SweepReport(
+            outcomes=[o for o in outcomes if o is not None],
+            elapsed_s=time.perf_counter() - started,
+        )

@@ -1,0 +1,178 @@
+"""Canonical serialization of sweep results.
+
+The cache and the determinism guarantees both hang off one property:
+encoding a result value must be *canonical* — the same value always
+produces the same JSON text, in any process.  ``json`` gives us that for
+free (shortest-roundtrip float repr, sorted keys), so a result's
+identity is simply the SHA-256 of its canonical encoding.
+
+``RunResult.wall_clock_us`` is the one *volatile* field: it measures the
+host, not the simulation, so :func:`fingerprint` strips it before
+hashing.  Cached payloads keep it (it is useful data), which is why the
+cache stores the full encoding and fingerprints are computed separately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ParseError
+from ..monitor.snapshot import RegionSnapshot, Snapshot
+from ..runner.results import NormalizedResult, RunResult
+
+__all__ = ["encode_value", "decode_value", "canonical_json", "fingerprint"]
+
+#: Tag key marking an encoded non-JSON-native object.
+_TAG = "__daos__"
+
+#: Per-type fields excluded from :func:`fingerprint` (host-time noise).
+VOLATILE_FIELDS = {"RunResult": {"wall_clock_us"}}
+
+
+def encode_value(value: Any) -> Any:
+    """Encode ``value`` into JSON-serialisable primitives (tagged)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ParseError(f"cannot encode non-string dict key {key!r}")
+            if key == _TAG:
+                raise ParseError(f"dict key {_TAG!r} is reserved for encoding tags")
+            out[key] = encode_value(item)
+        return out
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(item) for item in value]}
+    if isinstance(value, np.ndarray):
+        return {
+            _TAG: "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    if isinstance(value, RunResult):
+        return {
+            _TAG: "RunResult",
+            "fields": {
+                f.name: encode_value(getattr(value, f.name)) for f in fields(RunResult)
+            },
+        }
+    if isinstance(value, NormalizedResult):
+        return {
+            _TAG: "NormalizedResult",
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in fields(NormalizedResult)
+            },
+        }
+    if isinstance(value, Snapshot):
+        # Flat rows, matching the recording file format's compactness.
+        return {
+            _TAG: "Snapshot",
+            "time_us": value.time_us,
+            "max_nr_accesses": value.max_nr_accesses,
+            "regions": [
+                [r.start, r.end, r.nr_accesses, r.age, r.nr_writes]
+                for r in value.regions
+            ],
+        }
+    if isinstance(value, RegionSnapshot):
+        return {
+            _TAG: "RegionSnapshot",
+            "row": [value.start, value.end, value.nr_accesses, value.age, value.nr_writes],
+        }
+    raise ParseError(f"cannot encode {type(value).__name__} value for the sweep cache")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(_TAG)
+    if tag is None:
+        return {key: decode_value(item) for key, item in value.items()}
+    if tag == "tuple":
+        return tuple(decode_value(item) for item in value["items"])
+    if tag == "ndarray":
+        data = np.array(value["data"], dtype=np.dtype(value["dtype"]))
+        return data.reshape(value["shape"])
+    if tag == "RunResult":
+        return RunResult(**{k: decode_value(v) for k, v in value["fields"].items()})
+    if tag == "NormalizedResult":
+        return NormalizedResult(
+            **{k: decode_value(v) for k, v in value["fields"].items()}
+        )
+    if tag == "Snapshot":
+        return Snapshot(
+            time_us=value["time_us"],
+            max_nr_accesses=value["max_nr_accesses"],
+            regions=tuple(RegionSnapshot(*row) for row in value["regions"]),
+        )
+    if tag == "RegionSnapshot":
+        return RegionSnapshot(*value["row"])
+    raise ParseError(f"unknown encoding tag {tag!r} in sweep cache payload")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical text form of an *encoded* value."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _strip_volatile(encoded: Any) -> Any:
+    if isinstance(encoded, list):
+        return [_strip_volatile(item) for item in encoded]
+    if isinstance(encoded, dict):
+        tag = encoded.get(_TAG)
+        volatile = VOLATILE_FIELDS.get(tag, ())
+        if volatile and "fields" in encoded:
+            kept = {
+                k: _strip_volatile(v)
+                for k, v in encoded["fields"].items()
+                if k not in volatile
+            }
+            return {_TAG: tag, "fields": kept}
+        return {key: _strip_volatile(item) for key, item in encoded.items()}
+    return encoded
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 identity of a result, ignoring volatile (host-time)
+    fields — two runs of the same point must produce equal fingerprints
+    whether they ran in-process, in a pool worker, or on another day."""
+    encoded = value if _is_encoded(value) else encode_value(value)
+    text = canonical_json(_strip_volatile(encoded))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _is_encoded(value: Any) -> bool:
+    """Heuristic: already-encoded values are plain JSON primitives."""
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return True
+    if isinstance(value, list):
+        return all(_is_encoded(v) for v in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) for k in value) and all(
+            _is_encoded(v) for v in value.values()
+        )
+    return False
+
+
+def result_fields(result: RunResult) -> Dict[str, Any]:
+    """Field-name → value mapping (for field-by-field golden tests)."""
+    return {f.name: getattr(result, f.name) for f in fields(RunResult)}

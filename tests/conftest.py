@@ -1,9 +1,27 @@
-"""Shared fixtures: small, fast simulation objects for unit tests."""
+"""Shared fixtures: small, fast simulation objects for unit tests.
+
+Hypothesis profiles: ``ci`` (selected via ``HYPOTHESIS_PROFILE=ci``, as
+the GitHub Actions workflow does) is derandomised so CI failures always
+reproduce; the default ``dev`` profile keeps random exploration locally.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.monitor.attrs import MonitorAttrs
 from repro.sim.clock import EventQueue

@@ -1,0 +1,84 @@
+"""Sweep grids: canonical expansion, derived seeds, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sweep.grid import SweepGrid, SweepPoint, derive_seed
+
+
+class TestSweepPoint:
+    def test_params_are_canonicalised(self):
+        a = SweepPoint.make("experiment", {"b": 1, "a": "x"})
+        b = SweepPoint.make("experiment", {"a": "x", "b": 1})
+        assert a == b
+        assert a.items == (("a", "x"), ("b", 1))
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(ConfigError):
+            SweepPoint.make("experiment", {"a": [1, 2]})
+        with pytest.raises(ConfigError):
+            SweepPoint.make("experiment", {"a": {"nested": 1}})
+
+    def test_label_shows_identity_fields(self):
+        point = SweepPoint.make(
+            "experiment", {"workload": "w", "config": "rec", "time_scale": 0.1}
+        )
+        assert "workload=w" in point.label()
+        assert "time_scale" not in point.label()
+
+
+class TestFromAxes:
+    def test_cross_product_in_axis_order(self):
+        grid = SweepGrid.from_axes(
+            "experiment",
+            {"workload": ["a", "b"], "seed": [0, 1]},
+            fixed={"machine": "i3.metal"},
+        )
+        combos = [(p.params["workload"], p.params["seed"]) for p in grid]
+        assert combos == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+        assert all(p.params["machine"] == "i3.metal" for p in grid)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepGrid.from_axes("experiment", {"workload": []})
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepGrid.from_points("experiment", [{"a": 1}, {"a": 1}])
+
+
+class TestDerivedSeeds:
+    def test_stable_pinned_values(self):
+        # Pinned: a change here means every existing cache key built
+        # from derived seeds silently shifted.
+        assert derive_seed(0, {"workload": "x"}) == 1746341586
+        assert derive_seed(0, {"workload": "x"}, replicate=1) == 96070341
+
+    def test_explicit_seed_param_is_ignored_for_derivation(self):
+        assert derive_seed(0, {"workload": "x"}) == derive_seed(
+            0, {"workload": "x", "seed": 7}
+        )
+
+    @given(
+        base=st.integers(0, 2**31 - 1),
+        name=st.text(min_size=1, max_size=8),
+        replicate=st.integers(0, 4),
+    )
+    def test_derived_seeds_deterministic_and_bounded(self, base, name, replicate):
+        first = derive_seed(base, {"workload": name}, replicate)
+        second = derive_seed(base, {"workload": name}, replicate)
+        assert first == second
+        assert 0 <= first < 2**31
+
+    def test_replicated_assigns_distinct_seeds(self):
+        grid = SweepGrid.from_axes("experiment", {"workload": ["a", "b"]})
+        seeded = grid.replicated(3, base_seed=1)
+        assert len(seeded) == 6
+        seeds = [p.params["seed"] for p in seeded]
+        assert len(set(seeds)) == 6  # decorrelated across points and replicates
+
+    def test_replicated_rejects_explicit_seed(self):
+        grid = SweepGrid.from_axes("experiment", {"workload": ["a"], "seed": [0]})
+        with pytest.raises(ConfigError):
+            grid.replicated(2)
