@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples figures clean
+.PHONY: install test bench bench-full examples figures clean lint
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: the project's own linter (scheme semantics +
+# determinism AST pass; fails on error-severity findings), then ruff
+# and mypy when installed (`pip install -e .[lint]`).
+lint:
+	$(PYTHON) -m repro.cli lint
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
+	else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy || true; \
+	else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -15,7 +15,11 @@ Mirrors the upstream user-space tooling's verbs:
 * ``daos sweep``                         — run a whole grid of
   experiments across a worker pool with on-disk result caching
   (``--grid fig3``/``fig7`` presets, or ``--workloads``/``--configs``/
-  ``--seeds`` axes).
+  ``--seeds`` axes);
+* ``daos lint``                          — static analysis: scheme
+  semantic diagnostics (``--schemes FILE``) and the determinism AST
+  lint over python trees (defaults to the installed ``repro`` package);
+  exits non-zero only on error-severity findings.
 
 Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 """
@@ -23,7 +27,9 @@ Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from pathlib import Path
 
 from .analysis.ascii_plot import ascii_series
 from .analysis.heatmap import build_heatmap, render_heatmap
@@ -31,6 +37,17 @@ from .analysis.recording import heatmap_to_pgm, load_record, record_metadata, sa
 from .analysis.report import format_normalized_rows
 from .analysis.wss import wss_from_snapshots
 from .errors import ConfigError, DaosError
+from .lint import (
+    DEFAULT_BASELINE_NAME,
+    Severity,
+    analyze_scheme_text,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
 from .runner.configs import CONFIGS, ExperimentConfig
 from .runner.experiment import autotune_scheme, run_experiment
 from .runner.results import normalize
@@ -109,6 +126,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: scheme semantics + determinism lint"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="python files or trees to lint (default: the repro package, "
+        "unless only --schemes is given)",
+    )
+    p_lint.add_argument(
+        "--schemes",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also run the scheme semantic analyzer on this scheme file "
+        "(repeatable)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0",
     )
     return parser
 
@@ -211,6 +260,22 @@ def _cmd_run(args) -> int:
 def _cmd_schemes(args) -> int:
     with open(args.file) as handle:
         text = handle.read()
+    # Static analysis first: refuse to run on errors, surface warnings.
+    _, diagnostics = analyze_scheme_text(text, file=args.file)
+    for diag in diagnostics:
+        print(
+            f"{diag.location()}: {diag.severity.value} {diag.code}: {diag.message}",
+            file=sys.stderr,
+        )
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        print(
+            f"error: {args.file} has error-severity scheme diagnostics; "
+            f"fix them (or inspect with `daos lint --schemes {args.file}`)",
+            file=sys.stderr,
+        )
+        return 1
+    # The runner re-checks internally; silence its duplicate warning log.
+    logging.getLogger("repro.lint").addHandler(logging.NullHandler())
     config = ExperimentConfig(name="custom", monitor="vaddr", schemes_text=text)
     result = run_experiment(
         args.workload,
@@ -352,6 +417,42 @@ def _cmd_sweep(args) -> int:
     return 1 if report.n_failed else 0
 
 
+def _cmd_lint(args) -> int:
+    diagnostics = []
+    for scheme_file in args.schemes:
+        with open(scheme_file) as handle:
+            text = handle.read()
+        _, scheme_diags = analyze_scheme_text(text, file=scheme_file)
+        diagnostics.extend(scheme_diags)
+
+    paths = list(args.paths)
+    if not paths and not args.schemes:
+        # Default target: the installed repro package itself.
+        paths = [Path(__file__).resolve().parent]
+    if paths:
+        diagnostics.extend(lint_paths(paths, relative_to=Path.cwd()))
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        write_baseline(baseline_path, diagnostics, root=Path.cwd())
+        print(f"baseline with {len(diagnostics)} entrie(s) written to {baseline_path}")
+        return 0
+    n_baselined = 0
+    if args.baseline or baseline_path.exists():
+        entries = load_baseline(baseline_path)
+        diagnostics, n_baselined = apply_baseline(
+            diagnostics, entries, root=Path.cwd()
+        )
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+        if n_baselined:
+            print(f"({n_baselined} baselined finding(s) not shown)")
+    return 1 if any(d.severity is Severity.ERROR for d in diagnostics) else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "record": _cmd_record,
@@ -361,6 +462,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "wss": _cmd_wss,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 

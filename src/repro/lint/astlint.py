@@ -1,0 +1,477 @@
+"""Pass 2: the determinism AST linter.
+
+PR 1 made byte-identical determinism a load-bearing invariant: a pooled
+sweep must equal a serial one, and the result cache is content-addressed
+on the canonical point spec.  Anything that injects ambient state —
+wall clocks, global RNGs, environment variables, unordered set
+iteration — silently breaks both.  This pass walks the Python ``ast``
+of the source tree and reports:
+
+========  ============================================================
+DT201     wall-clock calls (``time.time``, ``datetime.now``, …);
+          the monotonic ``time.perf_counter`` stays allowed because
+          runtimes are reported as explicitly volatile measurements
+DT202     any call through the stdlib global ``random`` module
+DT203     seedless ``np.random.default_rng()`` and the legacy global
+          NumPy RNG (``np.random.seed`` / ``rand`` / …), plus
+          ``os.urandom`` / ``uuid.uuid4`` / ``secrets.*``
+DT204     ``os.environ`` / ``os.getenv`` outside the CLI boundary
+          (``cli.py``, ``conftest.py``)
+DT205     iterating a syntactic ``set`` expression (set literal,
+          set comprehension, ``set(...)`` / ``frozenset(...)`` call);
+          error inside fingerprint-feeding modules (``sweep/``),
+          warning elsewhere
+DT206     mutable default arguments
+DT207     ``None`` default on a parameter annotated with a
+          non-Optional type
+========  ============================================================
+
+Suppression: append ``# daos-lint: disable=DT204`` (comma-separated
+codes, or a bare ``disable`` for all) to the offending line.  Findings
+that predate the linter can instead live in a committed baseline file
+(:mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .diagnostics import Diagnostic, Severity, make_diagnostic
+
+__all__ = ["LintConfig", "lint_source", "lint_file", "lint_paths"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs of the determinism pass."""
+
+    #: Basenames allowed to read the environment (DT204).
+    env_allowed_files: Tuple[str, ...] = ("cli.py", "conftest.py")
+    #: A path containing one of these parts feeds sweep fingerprints:
+    #: DT205 escalates from warning to error there.
+    fingerprint_parts: Tuple[str, ...] = ("sweep",)
+
+
+#: Resolved dotted call targets that read a wall clock.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Legacy global NumPy RNG entry points (module-level state).
+_NUMPY_GLOBAL_RNG = {
+    "numpy.random." + name
+    for name in (
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "bytes",
+    )
+}
+
+#: Other ambient entropy sources, reported as DT203.
+_AMBIENT_RNG_CALLS = {"os.urandom", "uuid.uuid4"}
+
+_MUTABLE_DEFAULT_CALLS = {"list", "dict", "set", "frozenset"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*daos-lint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE
+)
+
+
+def _suppressed_codes(line_text: str) -> Optional[frozenset]:
+    """Codes suppressed on this source line; empty frozenset means all,
+    None means no suppression comment."""
+    match = _SUPPRESS_RE.search(line_text)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(code.strip().upper() for code in codes.split(",") if code.strip())
+
+
+class _ImportTable:
+    """Maps local names to the dotted paths they were imported as."""
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.partition(".")[0]
+            # `import numpy.random` binds `numpy`; `import numpy as np`
+            # binds `np` -> numpy.
+            target = alias.name if alias.asname else alias.name.partition(".")[0]
+            self.aliases[local] = target
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never reach the banned stdlib names
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain through the aliases,
+        or None when the root is not an imported name."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.aliases.get(cursor.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _annotation_requires_value(annotation: Optional[ast.AST]) -> bool:
+    """True when the annotation names a concrete (non-Optional) type, so
+    a ``None`` default contradicts it (DT207).
+
+    Deliberately conservative: anything that *could* admit None —
+    ``Optional[...]``, ``Union[...]``, ``X | None``, ``Any``,
+    ``object``, string annotations — passes.
+    """
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant):
+        return False  # string annotations: don't try to parse them
+    if isinstance(annotation, ast.BinOp):
+        return False  # X | Y unions may include None
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        name = head.attr if isinstance(head, ast.Attribute) else (
+            head.id if isinstance(head, ast.Name) else None
+        )
+        return name not in ("Optional", "Union", "Any")
+    if isinstance(annotation, ast.Name):
+        return annotation.id not in ("Any", "object", "None")
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr not in ("Any",)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, filename: str, config: LintConfig):
+        self.filename = filename
+        self.config = config
+        self.imports = _ImportTable()
+        self.diagnostics: List[Diagnostic] = []
+        name = Path(filename).name
+        self.env_allowed = name in config.env_allowed_files
+        parts = Path(filename).parts
+        self.in_fingerprint_module = any(
+            part in config.fingerprint_parts for part in parts
+        )
+
+    # -- helpers -------------------------------------------------------
+    def emit(self, code: str, message: str, node: ast.AST,
+             severity: Optional[Severity] = None) -> None:
+        diag = make_diagnostic(
+            code,
+            message,
+            file=self.filename,
+            line=getattr(node, "lineno", None),
+            column=(getattr(node, "col_offset", None) or 0) + 1
+            if getattr(node, "lineno", None) is not None
+            else None,
+            source="ast",
+        )
+        if severity is not None and severity is not diag.severity:
+            diag = Diagnostic(
+                code=diag.code,
+                severity=severity,
+                message=diag.message,
+                file=diag.file,
+                line=diag.line,
+                column=diag.column,
+                source=diag.source,
+            )
+        self.diagnostics.append(diag)
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        if resolved is not None:
+            self._check_call(resolved, node)
+        self.generic_visit(node)
+
+    def _check_call(self, resolved: str, node: ast.Call) -> None:
+        if resolved in _WALL_CLOCK_CALLS:
+            self.emit(
+                "DT201",
+                f"call to wall-clock source {resolved}(); derive virtual time "
+                f"from the simulation clock, or use time.perf_counter for "
+                f"explicitly volatile measurements",
+                node,
+            )
+            return
+        if resolved == "random" or resolved.startswith("random."):
+            self.emit(
+                "DT202",
+                f"call through the global random module ({resolved}); use an "
+                f"explicitly seeded np.random.Generator instead",
+                node,
+            )
+            return
+        if resolved == "numpy.random.default_rng":
+            if not node.args and not any(
+                kw.arg in (None, "seed") for kw in node.keywords
+            ):
+                self.emit(
+                    "DT203",
+                    "np.random.default_rng() without a seed draws entropy "
+                    "from the OS; pass an explicit seed",
+                    node,
+                )
+            return
+        if resolved in _NUMPY_GLOBAL_RNG:
+            self.emit(
+                "DT203",
+                f"{resolved}() uses NumPy's global RNG state; construct a "
+                f"seeded np.random.default_rng(seed) instead",
+                node,
+            )
+            return
+        if resolved in _AMBIENT_RNG_CALLS or resolved.startswith("secrets."):
+            self.emit(
+                "DT203",
+                f"{resolved}() is an ambient entropy source; all randomness "
+                f"must come from an explicit seed",
+                node,
+            )
+            return
+        if resolved == "os.getenv":
+            self._emit_env(node, "os.getenv")
+
+    # -- environment reads ---------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        resolved = self.imports.resolve(node)
+        if resolved == "os.environ":
+            self._emit_env(node, "os.environ")
+        self.generic_visit(node)
+
+    def _emit_env(self, node: ast.AST, what: str) -> None:
+        if self.env_allowed:
+            return
+        self.emit(
+            "DT204",
+            f"{what} read outside the CLI boundary; environment-dependent "
+            f"behaviour belongs in cli.py (or conftest.py for tests) so "
+            f"library results stay a pure function of their parameters",
+            node,
+        )
+
+    # -- unordered iteration -------------------------------------------
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if not _is_set_expression(iter_node):
+            return
+        severity = Severity.ERROR if self.in_fingerprint_module else Severity.WARNING
+        where = (
+            "this module feeds sweep fingerprints — iteration order changes "
+            "cache keys and sweep byte-identity"
+            if self.in_fingerprint_module
+            else "set iteration order is not deterministic across processes"
+        )
+        self.emit(
+            "DT205",
+            f"iteration over a bare set; wrap it in sorted(...) ({where})",
+            iter_node,
+            severity=severity,
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- function signatures -------------------------------------------
+    def _check_function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        defaults: List[Tuple[ast.arg, Optional[ast.AST]]] = []
+        pos_defaults = list(args.defaults)
+        for arg, default in zip(
+            positional[len(positional) - len(pos_defaults):], pos_defaults
+        ):
+            defaults.append((arg, default))
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                defaults.append((arg, default))
+        for arg, default in defaults:
+            if default is None:
+                continue
+            if isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_DEFAULT_CALLS
+                and not default.args
+                and not default.keywords
+            ):
+                self.emit(
+                    "DT206",
+                    f"mutable default for parameter {arg.arg!r} is shared "
+                    f"across calls; default to None and construct inside the "
+                    f"function",
+                    default,
+                )
+            elif (
+                isinstance(default, ast.Constant)
+                and default.value is None
+                and _annotation_requires_value(arg.annotation)
+            ):
+                annotation = ast.unparse(arg.annotation)
+                self.emit(
+                    "DT207",
+                    f"parameter {arg.arg!r} is annotated {annotation} but "
+                    f"defaults to None; annotate it Optional[{annotation}]",
+                    default,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _apply_suppressions(
+    diagnostics: List[Diagnostic], source_lines: Sequence[str]
+) -> List[Diagnostic]:
+    kept = []
+    for diag in diagnostics:
+        if diag.line is not None and 1 <= diag.line <= len(source_lines):
+            codes = _suppressed_codes(source_lines[diag.line - 1])
+            if codes is not None and (not codes or diag.code in codes):
+                continue
+        kept.append(diag)
+    return kept
+
+
+def lint_source(
+    source: str, filename: str, config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Lint one module's source text; suppression comments applied."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        # A file that does not parse cannot be vouched for; report it
+        # instead of crashing the lint run.
+        return [
+            make_diagnostic(
+                "DT200",
+                f"file does not parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno,
+                source="ast",
+            )
+        ]
+    visitor = _Visitor(filename, config)
+    visitor.visit(tree)
+    return _apply_suppressions(visitor.diagnostics, source.splitlines())
+
+
+def lint_file(
+    path: Union[str, Path],
+    config: Optional[LintConfig] = None,
+    *,
+    display_path: Optional[str] = None,
+) -> List[Diagnostic]:
+    path = Path(path)
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        display_path if display_path is not None else str(path),
+        config,
+    )
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+    *,
+    relative_to: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint files and directory trees (``**/*.py``), in sorted order.
+
+    ``relative_to`` shortens diagnostic paths (and therefore baseline
+    entries) to be location-independent.
+    """
+    config = config if config is not None else LintConfig()
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    out: List[Diagnostic] = []
+    for file_path in files:
+        display = str(file_path)
+        if relative_to is not None:
+            try:
+                display = file_path.resolve().relative_to(
+                    relative_to.resolve()
+                ).as_posix()
+            except ValueError:
+                display = str(file_path)
+        out.extend(lint_file(file_path, config, display_path=display))
+    return out

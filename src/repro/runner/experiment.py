@@ -10,10 +10,12 @@ the workload.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Optional, Tuple, Union
 
 from ..errors import ConfigError
+from ..lint.schemes import check_schemes
 from ..monitor.attrs import MonitorAttrs
 from ..monitor.core import DataAccessMonitor
 from ..monitor.primitives import PhysicalPrimitive, VirtualPrimitive
@@ -149,6 +151,15 @@ def run_experiment(
             if cfg.quota is not None:
                 for scheme in schemes:
                     scheme.quota = replace_quota(cfg.quota)
+            # Fail fast before any simulation time is spent: a scheme
+            # set with error-severity diagnostics produces garbage
+            # experiments.  Warnings are logged, not fatal.
+            check_schemes(
+                schemes,
+                monitor.attrs,
+                context=f"config {cfg.name!r}",
+                logger=logging.getLogger("repro.lint"),
+            )
             engine = SchemesEngine(kernel, schemes)
             monitor.attach_engine(engine)
         monitor.start(queue)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
-from ..errors import SchemeError
 from ..sim.kernel import SimKernel
 from .actions import Action, apply_action
 from .filters import apply_filters
@@ -122,11 +121,28 @@ class SchemesEngine:
             return "(no schemes installed)"
         return "\n".join(s.describe() for s in self.schemes)
 
-    def validate(self) -> None:
-        """Sanity-check the installed schemes as a set."""
-        for scheme in self.schemes:
-            if scheme.action is Action.PAGEOUT and scheme.pattern.min_freq > 0.5:
-                raise SchemeError(
-                    "paging out memory with >50% access frequency will thrash: "
-                    f"{scheme.describe()}"
-                )
+    def validate(self, attrs=None) -> None:
+        """Sanity-check the installed schemes as a set.
+
+        .. deprecated::
+            Thin shim over the scheme semantic analyzer
+            (:func:`repro.lint.schemes.check_schemes`), kept for
+            callers of the old ad-hoc check.  Use ``check_schemes`` (or
+            ``daos lint --schemes``) directly: it reports *all*
+            diagnostics with stable codes instead of raising on the
+            first thrash hazard.
+
+        Raises :class:`~repro.errors.SchemeError` if the analyzer finds
+        any error-severity diagnostic (the old thrash check is DS150).
+        """
+        import warnings as _warnings
+
+        from ..lint.schemes import check_schemes
+
+        _warnings.warn(
+            "SchemesEngine.validate is deprecated; use "
+            "repro.lint.schemes.check_schemes (or `daos lint --schemes`)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        check_schemes(self.schemes, attrs, context="engine.validate")

@@ -22,6 +22,8 @@ separately through :meth:`PageTable.touch_range`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..errors import AddressSpaceError, ConfigError
@@ -146,7 +148,7 @@ class PageTable:
         touches: float = 1.0,
         stride: int = 1,
         write_fraction: float = 0.0,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         """Touch a subset of pages in ``[lo, hi)`` at virtual time ``now``.
 

@@ -13,6 +13,8 @@ The two devices differ in exactly the two ways the experiments exercise:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..errors import ConfigError, SwapFullError
 from .pagetable import PAGE_SIZE
 from ..units import GIB
@@ -38,7 +40,7 @@ class SwapDevice:
         """Unused swap slots."""
         return self.capacity_pages - self.used_pages
 
-    def store(self, n_pages: int, n_dirty: int = None) -> int:
+    def store(self, n_pages: int, n_dirty: Optional[int] = None) -> int:
         """Swap ``n_pages`` out.  Returns the write latency in usec.
 
         ``n_dirty`` prices the writeback: clean pages whose content is

@@ -40,7 +40,9 @@ _version_tag_cache: Optional[str] = None
 def code_version_tag() -> str:
     """Hash of the ``repro`` package's source files (cached per process)."""
     global _version_tag_cache
-    override = os.environ.get("REPRO_SWEEP_VERSION_TAG")
+    # The documented cache-pinning knob (tests and deployments set it);
+    # it feeds the cache key, never a result value.
+    override = os.environ.get("REPRO_SWEEP_VERSION_TAG")  # daos-lint: disable=DT204
     if override:
         return override
     if _version_tag_cache is None:

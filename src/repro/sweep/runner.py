@@ -134,9 +134,43 @@ class SweepRunner:
         self.start_method = start_method
 
     # ------------------------------------------------------------------
+    def _preflight_schemes(self, points: List[SweepPoint]) -> None:
+        """Static scheme analysis before any point executes.
+
+        A sweep point referencing a configuration whose scheme set has
+        error-severity diagnostics would fail (or worse, silently
+        produce garbage) once per grid point; analyzing the handful of
+        distinct configurations up front fails the whole sweep in
+        milliseconds instead — before a worker pool is ever spawned.
+        Unknown configuration names are left for execution to report.
+        """
+        from ..lint.schemes import check_schemes
+        from ..monitor.attrs import MonitorAttrs
+        from ..runner.configs import CONFIGS
+        from ..schemes.parser import parse_schemes
+
+        names = sorted(
+            {
+                params["config"]
+                for params in (point.params for point in points)
+                if isinstance(params.get("config"), str)
+            }
+        )
+        attrs = MonitorAttrs()
+        for name in names:
+            cfg = CONFIGS.get(name)
+            if cfg is None or cfg.schemes_text is None:
+                continue
+            schemes = parse_schemes(cfg.schemes_text, attrs)
+            if cfg.quota is not None:
+                for scheme in schemes:
+                    scheme.quota = cfg.quota.fresh_clone()
+            check_schemes(schemes, attrs, context=f"sweep config {name!r}")
+
     def run(self) -> SweepReport:
         started = time.perf_counter()
         points = self.grid.points()
+        self._preflight_schemes(points)
         version = code_version_tag()
         keys = [point_key(point, version) for point in points]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)

