@@ -16,10 +16,16 @@ Mirrors the upstream user-space tooling's verbs:
   experiments across a worker pool with on-disk result caching
   (``--grid fig3``/``fig7`` presets, or ``--workloads``/``--configs``/
   ``--seeds`` axes);
+* ``daos trace <workload>``              — run under the trace bus and
+  stream the typed event log as canonical JSONL (``--validate FILE``
+  schema-checks an existing trace instead);
 * ``daos lint``                          — static analysis: scheme
   semantic diagnostics (``--schemes FILE``) and the determinism AST
   lint over python trees (defaults to the installed ``repro`` package);
   exits non-zero only on error-severity findings.
+
+``run``, ``schemes`` and ``tune`` also accept ``--trace FILE`` to write
+the run's event stream alongside their normal report.
 
 Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 """
@@ -54,6 +60,8 @@ from .runner.results import normalize
 from .sweep.grid import SweepGrid
 from .sweep.presets import PRESETS, fig7_grid, summarize_fig7
 from .sweep.runner import SweepRunner
+from .trace import FieldHistogram, JsonlTraceSink, TraceBus, validate_trace_file
+from .trace.events import EpochEnd
 from .units import MIB, format_size
 from .workloads.registry import all_workloads
 
@@ -90,14 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one configuration")
     p_run.add_argument("workload")
     p_run.add_argument("-c", "--config", default="baseline", choices=sorted(CONFIGS))
+    p_run.add_argument(
+        "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
+    )
 
     p_schemes = sub.add_parser("schemes", help="run with a custom scheme file")
     p_schemes.add_argument("workload")
     p_schemes.add_argument("-f", "--file", required=True, help="scheme text file")
+    p_schemes.add_argument(
+        "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
+    )
 
     p_tune = sub.add_parser("tune", help="auto-tune the reclamation scheme")
     p_tune.add_argument("workload")
     p_tune.add_argument("-n", "--samples", type=int, default=10)
+    p_tune.add_argument(
+        "--trace", metavar="FILE", help="write the tuner's TuneStep JSONL here"
+    )
 
     p_wss = sub.add_parser("wss", help="estimate the working set size")
     p_wss.add_argument("workload")
@@ -126,6 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run under the trace bus; stream canonical JSONL events"
+    )
+    p_trace.add_argument(
+        "workload", nargs="?", help="workload to trace (omit with --validate)"
+    )
+    p_trace.add_argument(
+        "-c", "--config", default="rec", choices=sorted(CONFIGS)
+    )
+    p_trace.add_argument(
+        "-o", "--output", help="write the JSONL here (default: stdout)"
+    )
+    p_trace.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="schema-validate an existing trace file and print its summary",
     )
 
     p_lint = sub.add_parser(
@@ -236,14 +271,30 @@ def _print_run(result, baseline) -> None:
         print(format_normalized_rows([normalize(result, baseline)]))
 
 
+def _trace_to_file(path):
+    """A ``(bus, sink)`` pair streaming to ``path``, or ``(None, None)``."""
+    if not path:
+        return None, None
+    bus = TraceBus(ring_capacity=0)
+    sink = JsonlTraceSink(path)
+    bus.subscribe_all(sink)
+    return bus, sink
+
+
 def _cmd_run(args) -> int:
-    result = run_experiment(
-        args.workload,
-        config=args.config,
-        machine=args.machine,
-        seed=args.seed,
-        time_scale=args.time_scale,
-    )
+    bus, sink = _trace_to_file(args.trace)
+    try:
+        result = run_experiment(
+            args.workload,
+            config=args.config,
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            trace=bus,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     baseline = None
     if args.config != "baseline":
         baseline = run_experiment(
@@ -254,6 +305,8 @@ def _cmd_run(args) -> int:
             time_scale=args.time_scale,
         )
     _print_run(result, baseline)
+    if sink is not None:
+        print(f"trace: {sink.n_written} events written to {args.trace}")
     return 0
 
 
@@ -277,13 +330,19 @@ def _cmd_schemes(args) -> int:
     # The runner re-checks internally; silence its duplicate warning log.
     logging.getLogger("repro.lint").addHandler(logging.NullHandler())
     config = ExperimentConfig(name="custom", monitor="vaddr", schemes_text=text)
-    result = run_experiment(
-        args.workload,
-        config=config,
-        machine=args.machine,
-        seed=args.seed,
-        time_scale=args.time_scale,
-    )
+    bus, sink = _trace_to_file(args.trace)
+    try:
+        result = run_experiment(
+            args.workload,
+            config=config,
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            trace=bus,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     baseline = run_experiment(
         args.workload,
         config="baseline",
@@ -292,17 +351,25 @@ def _cmd_schemes(args) -> int:
         time_scale=args.time_scale,
     )
     _print_run(result, baseline)
+    if sink is not None:
+        print(f"trace: {sink.n_written} events written to {args.trace}")
     return 0
 
 
 def _cmd_tune(args) -> int:
-    tuning, baseline, tuned = autotune_scheme(
-        args.workload,
-        machine=args.machine,
-        nr_samples=args.samples,
-        seed=args.seed,
-        time_scale=args.time_scale,
-    )
+    bus, sink = _trace_to_file(args.trace)
+    try:
+        tuning, baseline, tuned = autotune_scheme(
+            args.workload,
+            machine=args.machine,
+            nr_samples=args.samples,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            trace=bus,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     xs = [p for p, _ in tuning.samples]
     ys = [s for _, s in tuning.samples]
     grid_x, grid_y = tuning.trend.grid(60)
@@ -316,6 +383,8 @@ def _cmd_tune(args) -> int:
     )
     print(f"\nbest min_age : {tuning.best_param:.1f}s (estimated score {tuning.best_score:.2f})")
     print(format_normalized_rows([normalize(tuned, baseline)]))
+    if sink is not None:
+        print(f"trace: {sink.n_written} events written to {args.trace}")
     return 0
 
 
@@ -411,10 +480,64 @@ def _cmd_sweep(args) -> int:
     )
     for outcome in report.failures():
         print(f"FAILED {outcome.point.label()}: {outcome.error}", file=sys.stderr)
+    totals = report.trace_event_totals()
+    if totals:
+        rendered = ", ".join(f"{kind}={count}" for kind, count in totals.items())
+        print(f"trace events: {rendered}")
     if summarize is not None and report.n_failed < report.n_total:
         print()
         print(summarize(report))
     return 1 if report.n_failed else 0
+
+
+def _print_trace_summary(summary, stream) -> None:
+    """Render a :class:`~repro.trace.aggregate.TraceSummary` as a table."""
+    print(
+        f"{summary.n_events} events, "
+        f"t=[{summary.first_time_us}, {summary.last_time_us}]us",
+        file=stream,
+    )
+    for kind in sorted(summary.counts):
+        print(f"  {kind:20s} {summary.counts[kind]:>8d}", file=stream)
+
+
+def _cmd_trace(args) -> int:
+    if args.validate:
+        summary = validate_trace_file(args.validate)
+        print(f"{args.validate}: valid trace")
+        _print_trace_summary(summary, sys.stdout)
+        return 0
+    if not args.workload:
+        raise ConfigError("trace needs a workload (or --validate FILE)")
+    bus = TraceBus(ring_capacity=0)
+    rss_hist = FieldHistogram("rss_bytes")
+    bus.subscribe(EpochEnd, rss_hist)
+    if args.output:
+        sink = JsonlTraceSink(args.output)
+        report_stream = sys.stdout
+    else:
+        # JSONL goes to stdout (pipeable); the summary moves to stderr.
+        sink = JsonlTraceSink(sys.stdout)
+        report_stream = sys.stderr
+    bus.subscribe_all(sink)
+    try:
+        run_experiment(
+            args.workload,
+            config=args.config,
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            trace=bus,
+        )
+    finally:
+        sink.close()
+    _print_trace_summary(bus.summary(), report_stream)
+    if rss_hist.n_values:
+        print("\nEpochEnd.rss_bytes distribution:", file=report_stream)
+        print(rss_hist.render(), file=report_stream)
+    if args.output:
+        print(f"trace: {sink.n_written} events written to {args.output}")
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -462,6 +585,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "wss": _cmd_wss,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

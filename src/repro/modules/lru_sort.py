@@ -31,6 +31,7 @@ from ..schemes.scheme import AccessPattern, Scheme
 from ..schemes.watermarks import Watermarks
 from ..sim.clock import EventQueue
 from ..sim.kernel import SimKernel
+from ..trace.bus import TraceBus
 from ..units import GIB, SEC, UNLIMITED
 
 __all__ = ["LruSortParams", "LruSortModule"]
@@ -68,6 +69,7 @@ class LruSortModule:
         attrs: Optional[MonitorAttrs] = None,
         *,
         seed: int = 0,
+        trace: Optional[TraceBus] = None,
     ):
         self.kernel = kernel
         self.params = params if params is not None else LruSortParams()
@@ -104,8 +106,11 @@ class LruSortModule:
             PhysicalPrimitive(kernel),
             attrs if attrs is not None else MonitorAttrs(),
             seed=seed,
+            trace=trace,
         )
-        self.engine = SchemesEngine(kernel, [self.hot_scheme, self.cold_scheme])
+        self.engine = SchemesEngine(
+            kernel, [self.hot_scheme, self.cold_scheme], trace=trace
+        )
         self.monitor.attach_engine(self.engine)
 
     # ------------------------------------------------------------------

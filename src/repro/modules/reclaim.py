@@ -24,6 +24,7 @@ from ..schemes.scheme import AccessPattern, Scheme
 from ..schemes.watermarks import Watermarks
 from ..sim.clock import EventQueue
 from ..sim.kernel import SimKernel
+from ..trace.bus import TraceBus
 from ..units import MIB, SEC, UNLIMITED
 
 __all__ = ["ReclaimParams", "ReclaimModule"]
@@ -63,6 +64,7 @@ class ReclaimModule:
         attrs: Optional[MonitorAttrs] = None,
         *,
         seed: int = 0,
+        trace: Optional[TraceBus] = None,
     ):
         self.kernel = kernel
         self.params = params if params is not None else ReclaimParams()
@@ -90,8 +92,9 @@ class ReclaimModule:
             PhysicalPrimitive(kernel),
             attrs if attrs is not None else MonitorAttrs(),
             seed=seed,
+            trace=trace,
         )
-        self.engine = SchemesEngine(kernel, [self.scheme])
+        self.engine = SchemesEngine(kernel, [self.scheme], trace=trace)
         self.monitor.attach_engine(self.engine)
 
     # ------------------------------------------------------------------

@@ -29,6 +29,8 @@ import numpy as np
 
 from ..errors import MonitorStateError
 from ..sim.clock import EventQueue
+from ..trace.bus import TraceBus
+from ..trace.events import AccessSampled, RegionsAggregated
 from .attrs import MonitorAttrs
 from .primitives import MonitoringPrimitive
 from .region import (
@@ -53,9 +55,12 @@ class DataAccessMonitor:
         attrs: Optional[MonitorAttrs] = None,
         *,
         seed: int = 0,
+        trace: Optional[TraceBus] = None,
     ):
         self.primitive = primitive
         self.attrs = attrs if attrs is not None else MonitorAttrs()
+        #: Optional trace bus; sampling/aggregation ticks emit through it.
+        self.trace = trace
         self.rng = np.random.default_rng(seed)
         self.regions: List[Region] = []
         self.callbacks: List[Callable[[Snapshot], None]] = []
@@ -182,6 +187,7 @@ class DataAccessMonitor:
         """One sampling interval: check the pending sample pages, then
         pick (and clear) the next round's sample pages."""
         checked = 0
+        hits = whits = None
         if self._addrs is not None and self._addrs.size == len(self.regions):
             window = now - self._pending_since
             probs = self.primitive.access_probabilities(self._addrs, window)
@@ -189,7 +195,8 @@ class DataAccessMonitor:
             self._acc += hits
             if self.attrs.track_writes:
                 wprobs = self.primitive.write_probabilities(self._addrs, window)
-                self._wacc += self.rng.random(len(wprobs)) < wprobs
+                whits = self.rng.random(len(wprobs)) < wprobs
+                self._wacc += whits
             checked = len(self.regions)
             self.total_checks += checked
         # The kdamond wakeup itself costs CPU even on a tick that only
@@ -198,6 +205,22 @@ class DataAccessMonitor:
         # prepare_access_checks: pick and clear next sample pages.
         self._addrs = pick_sampling_addrs(self.regions, self.rng)
         self._pending_since = now
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(AccessSampled):
+                tr.emit(
+                    AccessSampled(
+                        time_us=tr.now,
+                        nr_regions=len(self.regions),
+                        checked=checked,
+                        hits=int(np.count_nonzero(hits)) if hits is not None else 0,
+                        write_hits=(
+                            int(np.count_nonzero(whits)) if whits is not None else 0
+                        ),
+                    )
+                )
+            else:
+                tr.count(AccessSampled)
 
     # ------------------------------------------------------------------
     # Aggregation tick: merge/age → callbacks → schemes → reset → split
@@ -221,7 +244,24 @@ class DataAccessMonitor:
         max_seen = int(self._acc.max()) if self._acc.size else 0
 
         threshold = max(1, max_seen // 10)
+        merges_before = self.total_merges
         self._merge_regions(threshold)
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(RegionsAggregated):
+                # Emitted after merge/age and before callbacks, so bus
+                # subscribers see the same region state snapshots do.
+                tr.emit(
+                    RegionsAggregated(
+                        time_us=tr.now,
+                        nr_regions=len(self.regions),
+                        total_bytes=sum(r.size for r in self.regions),
+                        max_nr_accesses=self.attrs.max_nr_accesses,
+                        nr_merges=self.total_merges - merges_before,
+                    )
+                )
+            else:
+                tr.count(RegionsAggregated)
 
         if self.callbacks:
             snapshot = self.snapshot(now)

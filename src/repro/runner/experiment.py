@@ -27,6 +27,8 @@ from ..sim.kernel import SimKernel
 from ..sim.machine import get_instance, guest_of
 from ..sim.swap import FileSwapDevice, NoSwapDevice, ZramDevice
 from ..sim.thp import ThpPolicy
+from ..trace.bus import TraceBus
+from ..trace.events import RegionsAggregated
 from ..tuning.runtime import AutoTuner, TuningResult
 from ..tuning.score import ScoreFunction
 from ..units import GIB, SEC
@@ -94,6 +96,8 @@ def run_experiment(
     attrs: Optional[MonitorAttrs] = None,
     costs: Optional[CostModel] = None,
     keep_snapshots: int = 0,
+    trace: Optional[TraceBus] = None,
+    collect_trace: bool = True,
 ) -> RunResult:
     """Run one experiment and return its raw measurements.
 
@@ -101,6 +105,13 @@ def run_experiment(
     runs (scheme ages and pattern periods are *not* scaled — they are
     what is being measured).  ``keep_snapshots`` > 0 retains up to that
     many aggregation snapshots for heatmap rendering.
+
+    ``trace`` supplies an external bus (its subscribers see every event;
+    its clock is bound to the run's); when ``None`` an internal, ring-less
+    bus is created so the result still carries a ``trace_summary``.  Pass
+    ``collect_trace=False`` to disable tracing entirely — the emission
+    sites then cost one ``is None`` check each.  Tracing never touches
+    the simulation's RNG streams, so results are identical either way.
     """
     wall_start = time.perf_counter()
     spec = get_workload(workload) if isinstance(workload, str) else workload
@@ -109,14 +120,20 @@ def run_experiment(
     host = get_instance(machine)
     guest = guest_of(host)
 
+    if trace is None and collect_trace:
+        trace = TraceBus(ring_capacity=0)
+
     kernel = SimKernel(
         guest,
         swap=_build_swap(swap, host),
         costs=costs,
         thp=ThpPolicy(mode=cfg.thp_mode),
         seed=seed,
+        trace=trace,
     )
     queue = EventQueue()
+    if trace is not None:
+        trace.bind_clock(queue.clock)
     work = Workload(spec, kernel, seed=seed + 1)
     work.setup()
 
@@ -129,7 +146,10 @@ def run_experiment(
             VirtualPrimitive(kernel) if cfg.monitor == "vaddr" else PhysicalPrimitive(kernel)
         )
         monitor = DataAccessMonitor(
-            primitive, attrs if attrs is not None else MonitorAttrs(), seed=seed + 2
+            primitive,
+            attrs if attrs is not None else MonitorAttrs(),
+            seed=seed + 2,
+            trace=trace,
         )
         if snapshots is not None:
             # Downsample so a full run keeps ~240 snapshots: building a
@@ -140,12 +160,24 @@ def run_experiment(
             stride = max(1, int(n_aggr // target))
             counter = {"n": 0}
 
-            def _record(mon, now, _store=snapshots, _stride=stride, _c=counter):
-                if _c["n"] % _stride == 0:
-                    _store.append(mon.snapshot(now))
-                _c["n"] += 1
+            if trace is not None:
+                # Snapshot recording is a bus subscriber: the monitor
+                # emits RegionsAggregated right before its callbacks run,
+                # on the same region state.
+                def _record_ev(ev, _mon=monitor, _store=snapshots, _stride=stride, _c=counter):
+                    if _c["n"] % _stride == 0:
+                        _store.append(_mon.snapshot(ev.time_us))
+                    _c["n"] += 1
 
-            monitor.register_raw_callback(_record)
+                trace.subscribe(RegionsAggregated, _record_ev)
+            else:
+
+                def _record(mon, now, _store=snapshots, _stride=stride, _c=counter):
+                    if _c["n"] % _stride == 0:
+                        _store.append(mon.snapshot(now))
+                    _c["n"] += 1
+
+                monitor.register_raw_callback(_record)
         if cfg.schemes_text is not None:
             schemes = parse_schemes(cfg.schemes_text, monitor.attrs)
             if cfg.quota is not None:
@@ -160,7 +192,7 @@ def run_experiment(
                 context=f"config {cfg.name!r}",
                 logger=logging.getLogger("repro.lint"),
             )
-            engine = SchemesEngine(kernel, schemes)
+            engine = SchemesEngine(kernel, schemes, trace=trace)
             monitor.attach_engine(engine)
         monitor.start(queue)
 
@@ -214,6 +246,7 @@ def run_experiment(
         scheme_stats=scheme_stats,
         snapshots=snapshots,
         wall_clock_us=(time.perf_counter() - wall_start) * 1e6,
+        trace_summary=trace.summary().as_dict() if trace is not None else None,
     )
 
 
@@ -226,11 +259,14 @@ def autotune_scheme(
     seed: int = 0,
     time_scale: float = 1.0,
     score_function: Optional[ScoreFunction] = None,
+    trace: Optional[TraceBus] = None,
 ) -> Tuple[TuningResult, RunResult, RunResult]:
     """Auto-tune the prcl scheme for one workload (§4.3).
 
     Returns ``(tuning_result, baseline_run, tuned_run)`` where the tuned
-    run uses the best ``min_age`` the tuner found.
+    run uses the best ``min_age`` the tuner found.  ``trace`` receives
+    one :class:`~repro.trace.events.TuneStep` per sample; the per-sample
+    experiment runs keep their own internal buses.
     """
     baseline = run_experiment(
         workload, config="baseline", machine=machine, seed=seed, time_scale=time_scale
@@ -255,6 +291,7 @@ def autotune_scheme(
         hi,
         score_function=score_function,
         seed=seed + 10,
+        trace=trace,
     )
     result = tuner.tune(nr_samples)
     tuned = run_experiment(

@@ -50,6 +50,10 @@ class RunResult:
     #: simulation — excluded from sweep fingerprints and cache identity
     #: (see ``repro.sweep.serialize.VOLATILE_FIELDS``).
     wall_clock_us: float = 0.0
+    #: Trace-bus roll-up of the run (``TraceSummary.as_dict()`` form), or
+    #: ``None`` when tracing was disabled.  Registered VOLATILE for sweep
+    #: fingerprints: it describes instrumentation, not the simulation.
+    trace_summary: Optional[Dict[str, object]] = None
 
     @property
     def monitor_cpu_share(self) -> float:

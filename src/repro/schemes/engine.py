@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from ..sim.kernel import SimKernel
+from ..trace.bus import TraceBus
+from ..trace.events import QuotaCharged, SchemeApplied, WatermarkTransition
 from .actions import Action, apply_action
 from .filters import apply_filters
 from .quotas import priority
@@ -34,9 +36,17 @@ _COLD_ACTIONS = frozenset(
 class SchemesEngine:
     """Applies an ordered list of schemes against one kernel."""
 
-    def __init__(self, kernel: SimKernel, schemes: Optional[Iterable[Scheme]] = None):
+    def __init__(
+        self,
+        kernel: SimKernel,
+        schemes: Optional[Iterable[Scheme]] = None,
+        *,
+        trace: Optional[TraceBus] = None,
+    ):
         self.kernel = kernel
         self.schemes: List[Scheme] = list(schemes) if schemes is not None else []
+        #: Optional trace bus; apply/quota/watermark decisions emit here.
+        self.trace = trace
 
     def add(self, scheme: Scheme) -> None:
         """Append a scheme; schemes apply in installation order."""
@@ -55,15 +65,28 @@ class SchemesEngine:
         # Physical-address monitors hand out frame-address regions;
         # actions must go through the rmap-based back-ends.
         phys = getattr(monitor.primitive, "name", "vaddr") == "paddr"
-        for scheme in self.schemes:
+        tr = self.trace
+        for scheme_index, scheme in enumerate(self.schemes):
             if scheme.watermarks is not None:
                 free_ratio = self.kernel.frames.free_frames() / self.kernel.frames.n_frames
-                if not scheme.watermarks.update(free_ratio):
+                was_active = scheme.watermarks.active
+                now_active = scheme.watermarks.update(free_ratio)
+                if tr is not None and now_active != was_active:
+                    tr.emit(
+                        WatermarkTransition(
+                            time_us=tr.now,
+                            scheme_index=scheme_index,
+                            active=now_active,
+                            free_ratio=free_ratio,
+                        )
+                    )
+                if not now_active:
                     continue
             scheme.stats.nr_intervals += 1
             matching = [r for r in monitor.regions if scheme.pattern.matches(r, attrs)]
             if not matching:
                 continue
+            pass_tried = pass_applied = 0
             if scheme.quota is not None and scheme.quota.limited:
                 quota = scheme.quota
                 matching.sort(
@@ -80,6 +103,7 @@ class SchemesEngine:
             budget = scheme.quota.remaining(now) if scheme.quota is not None else None
             for region in matching:
                 scheme.stats.record_tried(region.size)
+                pass_tried += region.size
                 end = region.end
                 if budget is not None:
                     if budget < 4096:
@@ -104,15 +128,36 @@ class SchemesEngine:
                     )
                 if applied:
                     scheme.stats.record_applied(applied)
+                    pass_applied += applied
                     if scheme.quota is not None:
                         scheme.quota.charge(applied, now)
                         if budget is not None:
                             budget -= applied
+                        if tr is not None and scheme.quota.limited:
+                            tr.emit(
+                                QuotaCharged(
+                                    time_us=tr.now,
+                                    scheme_index=scheme_index,
+                                    charged_bytes=applied,
+                                    remaining_bytes=scheme.quota.remaining(now),
+                                )
+                            )
                 # Aging note: the kernel resets a region's age when a
                 # scheme was applied to it, so the same region is not
                 # re-targeted every aggregation while its pattern decays.
                 if applied and scheme.action is not Action.STAT:
                     region.age = 0
+            if tr is not None:
+                tr.emit(
+                    SchemeApplied(
+                        time_us=tr.now,
+                        scheme_index=scheme_index,
+                        action=scheme.action.value,
+                        nr_regions=len(matching),
+                        bytes_tried=pass_tried,
+                        bytes_applied=pass_applied,
+                    )
+                )
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

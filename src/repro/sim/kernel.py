@@ -24,6 +24,8 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigError, SwapFullError
+from ..trace.bus import TraceBus
+from ..trace.events import EpochEnd, PageoutBatch, ReclaimPass, ThpPromotion
 from .costs import CostModel
 from .lru import LruReclaimer
 from .machine import GuestSpec, MachineSpec, guest_of
@@ -58,6 +60,7 @@ class SimKernel:
         thp: Optional[ThpPolicy] = None,
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        trace: Optional[TraceBus] = None,
     ):
         if isinstance(guest, MachineSpec):
             guest = guest_of(guest)
@@ -76,6 +79,8 @@ class SimKernel:
         self.lru = LruReclaimer(self.space)
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.metrics = KernelMetrics()
+        #: Optional trace bus; every management path emits through it.
+        self.trace = trace
         self._vma_ids = {}  # VMA -> ordinal used in the frame table's rmap
         self._oom_reclaim_failed = False
 
@@ -209,6 +214,24 @@ class SimKernel:
         self.metrics.runtime.compute_us += compute_us
         self._pressure_reclaim(now)
         self.sample_memory(now)
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(EpochEnd):
+                # Costs are charged at the epoch's end while the event is
+                # stamped at emission time, so ``now`` rides as payload.
+                tr.emit(
+                    EpochEnd(
+                        time_us=tr.now,
+                        epoch_end_us=now,
+                        compute_us=compute_us,
+                        rss_bytes=self.rss_bytes(),
+                        free_frames=self.frames.free_frames(),
+                        major_faults=self.metrics.major_faults,
+                        minor_faults=self.metrics.minor_faults,
+                    )
+                )
+            else:
+                tr.count(EpochEnd)
 
     def sample_memory(self, now: int) -> None:
         """Record an RSS/system-memory sample on the metrics timeline."""
@@ -221,7 +244,7 @@ class SimKernel:
         if self.frames.free_frames() >= needed:
             return
         deficit = needed - self.frames.free_frames()
-        self._reclaim(deficit, None)
+        self._reclaim(deficit, "alloc")
         if self.frames.free_frames() < needed:
             raise SwapFullError(
                 "OOM: reclaim could not free enough frames "
@@ -233,15 +256,17 @@ class SimKernel:
         if self.frames.allocated <= high or self._oom_reclaim_failed:
             return
         low = int(self.frames.n_frames * _LOW_WATERMARK)
-        self._reclaim(self.frames.allocated - low, now)
+        self._reclaim(self.frames.allocated - low, "pressure")
 
-    def _reclaim(self, n_pages: int, now) -> None:
-        """Evict up to ``n_pages`` LRU-cold pages to swap."""
+    def _reclaim(self, n_pages: int, trigger: str) -> None:
+        """Evict up to ``n_pages`` LRU-cold pages to swap.  ``trigger``
+        records why the pass ran (``"alloc"`` or ``"pressure"``)."""
         budget = min(n_pages, self.swap.free_pages())
         if budget <= 0:
             self._oom_reclaim_failed = True
             return
         victims = self.lru.select_victims(budget, rng=self.rng)
+        evicted = written_back = 0
         for vma, idx in victims:
             pt = vma.pages
             frames = pt.frame[idx]
@@ -256,6 +281,22 @@ class SimKernel:
             self.metrics.pages_swapped_out += idx.size
             self.metrics.pages_written_back += n_dirty
             self.metrics.reclaim_evictions += idx.size
+            evicted += int(idx.size)
+            written_back += n_dirty
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(ReclaimPass):
+                tr.emit(
+                    ReclaimPass(
+                        time_us=tr.now,
+                        requested_pages=int(n_pages),
+                        evicted_pages=evicted,
+                        written_back_pages=written_back,
+                        trigger=trigger,
+                    )
+                )
+            else:
+                tr.count(ReclaimPass)
 
     # ------------------------------------------------------------------
     # Management operations (scheme-action back-ends; Table 1)
@@ -264,7 +305,7 @@ class SimKernel:
         """PAGEOUT: immediately reclaim the address range.  Returns pages
         paged out (0 if swap is full — reclaim silently stops, as
         madvise_pageout does)."""
-        total = 0
+        total = total_dirty = 0
         for vma, lo, hi in self.space.ranges_in(start, end):
             pt = vma.pages
             was_dirty = pt.dirty[lo:hi].copy()
@@ -290,6 +331,17 @@ class SimKernel:
             self.metrics.pages_swapped_out += candidates.size
             self.metrics.pages_written_back += n_dirty
             total += candidates.size
+            total_dirty += n_dirty
+        tr = self.trace
+        if tr is not None and total:
+            tr.emit(
+                PageoutBatch(
+                    time_us=tr.now,
+                    paged_out_pages=int(total),
+                    written_back_pages=total_dirty,
+                    phys=False,
+                )
+            )
         return total
 
     def madvise_willneed(self, start: int, end: int, now: int) -> int:
@@ -330,7 +382,7 @@ class SimKernel:
     def pageout_phys(self, start: int, end: int, now: int) -> int:
         """PAGEOUT on a physical address range: resolve the frames
         through the rmap and reclaim the mapping pages."""
-        total = 0
+        total = total_dirty = 0
         for vma, idx in self._frames_in_range(start, end):
             pt = vma.pages
             candidates = idx[pt.present[idx]]
@@ -353,6 +405,17 @@ class SimKernel:
             self.metrics.pages_swapped_out += candidates.size
             self.metrics.pages_written_back += n_dirty
             total += int(candidates.size)
+            total_dirty += n_dirty
+        tr = self.trace
+        if tr is not None and total:
+            tr.emit(
+                PageoutBatch(
+                    time_us=tr.now,
+                    paged_out_pages=total,
+                    written_back_pages=total_dirty,
+                    phys=True,
+                )
+            )
         return total
 
     def lru_prioritize_phys(self, start: int, end: int, now: int) -> int:
@@ -429,6 +492,16 @@ class SimKernel:
         self.metrics.runtime.thp_alloc_us += self.costs.thp_alloc_cost_us(
             int(promoted.size)
         )
+        tr = self.trace
+        if tr is not None:
+            tr.emit(
+                ThpPromotion(
+                    time_us=tr.now,
+                    promoted_chunks=int(promoted.size),
+                    bloat_pages=int(new_idx.size),
+                    swapped_in_pages=int(n_swapped),
+                )
+            )
         return int(promoted.size)
 
     def madvise_hugepage(self, start: int, end: int, now: int) -> int:

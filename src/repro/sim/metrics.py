@@ -13,7 +13,7 @@ Separates the two quantities every experiment in the paper reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 __all__ = ["RuntimeBreakdown", "MemoryTimeline", "KernelMetrics"]
@@ -32,29 +32,18 @@ class RuntimeBreakdown:
     monitor_interference_us: float = 0.0
 
     def total_us(self) -> float:
-        """The workload's virtual runtime: the sum of all components."""
-        return (
-            self.compute_us
-            + self.memory_stall_us
-            + self.major_fault_us
-            + self.minor_fault_us
-            + self.swapout_us
-            + self.thp_alloc_us
-            + self.monitor_interference_us
-        )
+        """The workload's virtual runtime: the sum of all components.
+
+        Derived from the dataclass fields so a newly added component can
+        never be silently dropped from the total.
+        """
+        return sum(getattr(self, f.name) for f in fields(self))
 
     def as_dict(self) -> Dict[str, float]:
         """Breakdown as a plain dict (benchmarks serialise this)."""
-        return {
-            "compute_us": self.compute_us,
-            "memory_stall_us": self.memory_stall_us,
-            "major_fault_us": self.major_fault_us,
-            "minor_fault_us": self.minor_fault_us,
-            "swapout_us": self.swapout_us,
-            "thp_alloc_us": self.thp_alloc_us,
-            "monitor_interference_us": self.monitor_interference_us,
-            "total_us": self.total_us(),
-        }
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["total_us"] = self.total_us()
+        return out
 
 
 @dataclass
@@ -126,23 +115,19 @@ class KernelMetrics:
     monitor_cpu_us: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        """All counters plus the runtime breakdown, as a flat dict."""
+        """All counters plus the runtime breakdown, as a flat dict.
+
+        Scalar counters are enumerated from the dataclass fields (the
+        nested ``runtime``/``memory`` aggregates contribute their own
+        derived entries), so new counters appear here automatically.
+        """
         out: Dict[str, float] = {
-            "major_faults": self.major_faults,
-            "minor_faults": self.minor_faults,
-            "pages_swapped_out": self.pages_swapped_out,
-            "pages_swapped_in": self.pages_swapped_in,
-            "pages_written_back": self.pages_written_back,
-            "thp_promotions": self.thp_promotions,
-            "thp_demotions": self.thp_demotions,
-            "thp_bloat_pages": self.thp_bloat_pages,
-            "thp_freed_pages": self.thp_freed_pages,
-            "reclaim_evictions": self.reclaim_evictions,
-            "monitor_checks": self.monitor_checks,
-            "monitor_cpu_us": self.monitor_cpu_us,
-            "avg_rss_bytes": self.memory.avg_rss(),
-            "peak_rss_bytes": float(self.memory.peak_rss),
-            "avg_system_bytes": self.memory.avg_system(),
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("runtime", "memory")
         }
+        out["avg_rss_bytes"] = self.memory.avg_rss()
+        out["peak_rss_bytes"] = float(self.memory.peak_rss)
+        out["avg_system_bytes"] = self.memory.avg_system()
         out.update(self.runtime.as_dict())
         return out

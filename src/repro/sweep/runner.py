@@ -106,6 +106,21 @@ class SweepReport:
         """Sum of per-point wall clocks (= serial cost of the sweep)."""
         return sum(o.wall_s for o in self.outcomes)
 
+    def trace_event_totals(self) -> Dict[str, int]:
+        """Trace-event counts summed over every point carrying a
+        ``trace_summary`` (duck-typed, so lists/dicts of results work
+        too).  Empty when no point was traced."""
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                continue
+            summary = getattr(outcome.value, "trace_summary", None)
+            if not summary:
+                continue
+            for kind, count in summary.get("counts", {}).items():
+                totals[kind] = totals.get(kind, 0) + int(count)
+        return {kind: totals[kind] for kind in sorted(totals)}
+
 
 class SweepRunner:
     """Execute a :class:`~repro.sweep.grid.SweepGrid`.

@@ -30,8 +30,10 @@ __all__ = ["encode_value", "decode_value", "canonical_json", "fingerprint"]
 #: Tag key marking an encoded non-JSON-native object.
 _TAG = "__daos__"
 
-#: Per-type fields excluded from :func:`fingerprint` (host-time noise).
-VOLATILE_FIELDS = {"RunResult": {"wall_clock_us"}}
+#: Per-type fields excluded from :func:`fingerprint`: host-time noise
+#: (``wall_clock_us``) and instrumentation roll-ups (``trace_summary``),
+#: so a point's identity does not depend on whether tracing ran.
+VOLATILE_FIELDS = {"RunResult": {"wall_clock_us", "trace_summary"}}
 
 
 def encode_value(value: Any) -> Any:

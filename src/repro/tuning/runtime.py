@@ -15,6 +15,8 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..errors import TuningError
+from ..trace.bus import TraceBus
+from ..trace.events import TuneStep
 from .fit import TrendEstimate, estimate_trend, find_peaks
 from .sampler import SamplePlan, nr_samples_for_budget
 from .score import ScoreFunction, default_score_function
@@ -65,6 +67,7 @@ class AutoTuner:
         *,
         score_function: Optional[ScoreFunction] = None,
         seed: int = 0,
+        trace: Optional[TraceBus] = None,
     ):
         if hi <= lo:
             raise TuningError(f"empty parameter range [{lo}, {hi}]")
@@ -78,11 +81,30 @@ class AutoTuner:
             score_function if score_function is not None else default_score_function()
         )
         self.rng = np.random.default_rng(seed)
+        #: Optional trace bus; every sample emits a :class:`TuneStep`.
+        self.trace = trace
 
     # ------------------------------------------------------------------
-    def _score_at(self, param: float) -> float:
+    def _score_at(self, param: float, phase: str = "global") -> float:
         runtime, rss = self.evaluate(param)
-        return self.score_function(runtime, rss, self.orig_runtime, self.orig_rss)
+        score = self.score_function(runtime, rss, self.orig_runtime, self.orig_rss)
+        tr = self.trace
+        if tr is not None:
+            # The tuner has no event queue, so an owned bus clock advances
+            # by each sample's virtual runtime — cumulative tuning time.
+            if tr.owns_clock:
+                tr.advance_to(tr.now + int(runtime))
+            tr.emit(
+                TuneStep(
+                    time_us=tr.now,
+                    phase=phase,
+                    param=float(param),
+                    score=float(score),
+                    runtime_us=float(runtime),
+                    rss_bytes=float(rss),
+                )
+            )
+        return score
 
     def tune(self, nr_samples: int) -> TuningResult:
         """One tuning session with an explicit sample budget."""
@@ -91,7 +113,9 @@ class AutoTuner:
 
         global_samples = [(p, self._score_at(p)) for p in plan.global_points()]
         best_so_far = max(global_samples, key=lambda pair: pair[1])[0]
-        local_samples = [(p, self._score_at(p)) for p in plan.local_points(best_so_far)]
+        local_samples = [
+            (p, self._score_at(p, "local")) for p in plan.local_points(best_so_far)
+        ]
 
         samples = global_samples + local_samples
         xs = [p for p, _ in samples]
@@ -103,7 +127,7 @@ class AutoTuner:
         # range edge (especially against the SLA cliff).  Measure the
         # fitted optimum once and fall back to the best *measured*
         # sample if it does better.
-        best_score = self._score_at(best_param)
+        best_score = self._score_at(best_param, "validate")
         sampled_best_param, sampled_best_score = max(samples, key=lambda p: p[1])
         if sampled_best_score > best_score:
             best_param, best_score = sampled_best_param, sampled_best_score

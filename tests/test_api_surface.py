@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.runner",
     "repro.schemes",
     "repro.sim",
+    "repro.trace",
     "repro.tuning",
     "repro.workloads",
 ]

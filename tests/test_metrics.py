@@ -1,5 +1,7 @@
 """Metrics accounting: runtime breakdown and memory timelines."""
 
+from dataclasses import fields
+
 import pytest
 
 from repro.sim.metrics import KernelMetrics, MemoryTimeline, RuntimeBreakdown
@@ -23,6 +25,17 @@ class TestRuntimeBreakdown:
         d = b.as_dict()
         assert d["compute_us"] == 7
         assert d["total_us"] == b.total_us()
+
+    def test_reducers_cover_every_field(self):
+        """total_us/as_dict are derived from the dataclass fields, so a
+        newly added component can never be silently dropped."""
+        b = RuntimeBreakdown()
+        names = [f.name for f in fields(b)]
+        for i, name in enumerate(names):
+            setattr(b, name, float(10**i))
+        assert b.total_us() == pytest.approx(sum(10**i for i in range(len(names))))
+        d = b.as_dict()
+        assert set(d) == set(names) | {"total_us"}
 
 
 class TestMemoryTimeline:
@@ -69,3 +82,12 @@ class TestKernelMetrics:
         assert d["major_faults"] == 3
         assert "avg_rss_bytes" in d
         assert "total_us" in d
+
+    def test_as_dict_tracks_scalar_fields(self):
+        """Every scalar counter field appears in the flat dict."""
+        m = KernelMetrics()
+        d = m.as_dict()
+        for f in fields(m):
+            if f.name in ("runtime", "memory"):
+                continue
+            assert f.name in d, f"counter {f.name} missing from as_dict"

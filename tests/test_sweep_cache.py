@@ -116,7 +116,7 @@ class TestGoldenEncoding:
             '"final_system_bytes":0.0,"machine":"m","monitor_checks":0,'
             '"monitor_cpu_us":0.0,"peak_rss_bytes":4.0,"runtime_us":2.5,'
             '"scheme_stats":{},"seed":1,"snapshots":null,'
-            '"wall_clock_us":0.0,"workload":"w"}}'
+            '"trace_summary":null,"wall_clock_us":0.0,"workload":"w"}}'
         )
         assert canonical_json(encode_value(result)) == expected
 

@@ -79,3 +79,22 @@ def test_wall_clock_is_recorded_but_not_identity(in_process_results):
     result = in_process_results[0]
     assert result.wall_clock_us > 0  # the new timing metric is populated
     assert result.sim_speedup > 0
+
+
+def test_trace_summary_travels_through_sweep(grid, in_process_results):
+    """Every sweep outcome carries the same trace roll-up the in-process
+    run produced (the bus is deterministic), and the report can total
+    event counts across points — yet the summary never enters the
+    fingerprint (it is VOLATILE, like wall clock)."""
+    report = SweepRunner(grid, jobs=1).run()
+    totals = report.trace_event_totals()
+    assert totals and all(v > 0 for v in totals.values())
+    for outcome, direct in zip(report.outcomes, in_process_results):
+        assert direct.trace_summary is not None
+        assert outcome.value.trace_summary == direct.trace_summary
+    # VOLATILE: fingerprints ignore it even when it differs.
+    import copy
+
+    mutated = copy.deepcopy(in_process_results[0])
+    mutated.trace_summary = None
+    assert fingerprint(mutated) == fingerprint(in_process_results[0])

@@ -1,0 +1,91 @@
+"""Golden determinism: identical runs produce byte-identical traces."""
+
+import io
+from dataclasses import fields
+
+import pytest
+
+from repro.runner.experiment import run_experiment
+from repro.trace import (
+    JsonlTraceSink,
+    TraceBus,
+    encode_event,
+    read_trace,
+    validate_trace_file,
+)
+
+WORKLOAD = "parsec3/swaptions"
+CONFIG = "prcl"
+SEED = 5
+TIME_SCALE = 0.02
+
+
+def traced_run():
+    """One fixed run with a full JSONL capture; returns (text, bus)."""
+    bus = TraceBus(ring_capacity=0)
+    buffer = io.StringIO()
+    sink = JsonlTraceSink(buffer)
+    bus.subscribe_all(sink)
+    result = run_experiment(
+        WORKLOAD, config=CONFIG, seed=SEED, time_scale=TIME_SCALE, trace=bus
+    )
+    return buffer.getvalue(), bus, result
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return traced_run()
+
+
+class TestGoldenTrace:
+    def test_byte_identical_across_runs(self, golden):
+        text_a, _, result_a = golden
+        text_b, _, result_b = traced_run()
+        assert text_a == text_b
+        assert result_a.trace_summary == result_b.trace_summary
+
+    def test_trace_is_nonempty_and_monotone(self, golden):
+        text, bus, _ = golden
+        lines = text.splitlines()
+        assert len(lines) == bus.n_events > 0
+        times = [e.time_us for e in read_trace(lines)]
+        assert times == sorted(times)
+
+    def test_reencode_reproduces_lines(self, golden):
+        """decode → encode is the identity on canonical lines."""
+        text, _, _ = golden
+        lines = text.splitlines()
+        assert [encode_event(e) for e in read_trace(lines)] == lines
+
+    def test_validate_summary_matches_bus(self, golden):
+        text, bus, result = golden
+        summary = validate_trace_file(text.splitlines())
+        assert summary == bus.summary()
+        assert result.trace_summary == summary.as_dict()
+
+    def test_expected_event_mix(self, golden):
+        """The prcl run at this scale monitors but never triggers schemes
+        (min_age outruns the shrunk run), so the trace carries the
+        monitoring and epoch story only."""
+        _, bus, _ = golden
+        assert bus.counts.get("AccessSampled", 0) > 0
+        assert bus.counts.get("RegionsAggregated", 0) > 0
+        assert bus.counts.get("EpochEnd", 0) > 0
+
+
+class TestTracingIsInert:
+    def test_results_identical_with_and_without_tracing(self):
+        """Tracing consumes no randomness and perturbs no accounting."""
+        _, _, traced = traced_run()
+        untraced = run_experiment(
+            WORKLOAD,
+            config=CONFIG,
+            seed=SEED,
+            time_scale=TIME_SCALE,
+            collect_trace=False,
+        )
+        assert untraced.trace_summary is None
+        for f in fields(traced):
+            if f.name in ("wall_clock_us", "trace_summary"):
+                continue
+            assert getattr(traced, f.name) == getattr(untraced, f.name), f.name

@@ -1,0 +1,120 @@
+"""Trace stories of the reclaim and LRU-sort modules.
+
+These tests run the same pressure scenarios as ``test_modules.py`` but
+assert on the *trace* instead of the stats: the bus must tell the full
+causal story — sampling, aggregation, watermark activation, quota
+charges, scheme application, and the resulting pageout batches.
+"""
+
+from repro.modules.lru_sort import LruSortModule, LruSortParams
+from repro.modules.reclaim import ReclaimModule, ReclaimParams
+from repro.monitor.attrs import MonitorAttrs
+from repro.sim.kernel import SimKernel
+from repro.sim.machine import GuestSpec, get_instance
+from repro.sim.swap import ZramDevice
+from repro.trace import (
+    PageoutBatch,
+    QuotaCharged,
+    SchemeApplied,
+    TraceBus,
+    WatermarkTransition,
+)
+from repro.units import MIB, MSEC
+
+from tests.helpers import BASE, run_epochs
+
+FAST = MonitorAttrs(
+    sampling_interval_us=1 * MSEC,
+    aggregation_interval_us=20 * MSEC,
+    regions_update_interval_us=200 * MSEC,
+    min_nr_regions=10,
+    max_nr_regions=200,
+)
+
+
+def make_traced_kernel(queue, dram_mib, swap_mib=128, seed=7):
+    bus = TraceBus(queue.clock, ring_capacity=0)
+    collected = []
+    bus.subscribe_all(collected.append)
+    guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=dram_mib * MIB)
+    kernel = SimKernel(guest, swap=ZramDevice(swap_mib * MIB), seed=seed, trace=bus)
+    return bus, collected, kernel
+
+
+class TestReclaimTrace:
+    def test_pressure_story(self, queue):
+        """Under pressure the trace shows: monitoring ticks, the low-free
+        watermark activating, quota charges, pageout schemes applying,
+        and physical pageout batches moving memory out."""
+        bus, events, kernel = make_traced_kernel(queue, dram_mib=64)
+        kernel.mmap(BASE, 64 * MIB)
+        module = ReclaimModule(
+            kernel, ReclaimParams(min_age_us=200 * MSEC), FAST, trace=bus
+        )
+        module.start(queue)
+        kernel.apply_access(BASE, BASE + 44 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(
+            kernel,
+            queue,
+            [dict(start=BASE, end=BASE + 4 * MIB, touches_per_page=2000)],
+            n_epochs=30,
+        )
+
+        assert bus.counts.get("AccessSampled", 0) > 0
+        assert bus.counts.get("RegionsAggregated", 0) > 0
+
+        activations = [
+            e for e in events if isinstance(e, WatermarkTransition) and e.active
+        ]
+        assert activations, "pressure never activated the reclaim watermarks"
+
+        applied = [e for e in events if isinstance(e, SchemeApplied)]
+        assert applied and all(e.action == "pageout" for e in applied)
+        assert sum(e.bytes_applied for e in applied) > 8 * MIB
+
+        charges = [e for e in events if isinstance(e, QuotaCharged)]
+        assert charges, "reclaim quota is limited, so charges must appear"
+        assert all(e.charged_bytes > 0 for e in charges)
+
+        batches = [e for e in events if isinstance(e, PageoutBatch) and e.phys]
+        assert batches, "applied pageout schemes must produce phys batches"
+        assert sum(b.paged_out_pages for b in batches) * 4096 > 8 * MIB
+
+    def test_quiet_kernel_applies_no_schemes(self, queue):
+        """Without pressure the watermarks hold the module off: monitoring
+        events flow but no scheme ever applies."""
+        bus, events, kernel = make_traced_kernel(queue, dram_mib=256)
+        kernel.mmap(BASE, 64 * MIB)
+        module = ReclaimModule(
+            kernel, ReclaimParams(min_age_us=100 * MSEC), FAST, trace=bus
+        )
+        module.start(queue)
+        kernel.apply_access(BASE, BASE + 32 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(kernel, queue, [], n_epochs=20)
+        assert bus.counts.get("AccessSampled", 0) > 0
+        assert bus.counts.get("SchemeApplied", 0) == 0
+        assert not [e for e in events if isinstance(e, WatermarkTransition) and e.active]
+
+
+class TestLruSortTrace:
+    def test_both_directions_traced(self, queue):
+        """The LRU-sort trace must show schemes applying in both
+        directions: hot regions prioritised, cold regions deprioritised."""
+        bus, events, kernel = make_traced_kernel(queue, dram_mib=256)
+        kernel.mmap(BASE, 64 * MIB)
+        module = LruSortModule(
+            kernel, LruSortParams(cold_min_age_us=200 * MSEC), FAST, trace=bus
+        )
+        module.start(queue)
+        kernel.apply_access(BASE, BASE + 64 * MIB, now=0, epoch_us=100 * MSEC)
+        run_epochs(
+            kernel,
+            queue,
+            [dict(start=BASE, end=BASE + 8 * MIB, touches_per_page=2000)],
+            n_epochs=25,
+        )
+        actions = {e.action for e in events if isinstance(e, SchemeApplied)}
+        assert actions == {"lru_prio", "lru_deprio"}
+        # Sorting moves no data: no pageout batches, no reclaim passes.
+        assert bus.counts.get("PageoutBatch", 0) == 0
+        assert bus.counts.get("ReclaimPass", 0) == 0
