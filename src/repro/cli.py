@@ -22,10 +22,19 @@ Mirrors the upstream user-space tooling's verbs:
 * ``daos lint``                          — static analysis: scheme
   semantic diagnostics (``--schemes FILE``) and the determinism AST
   lint over python trees (defaults to the installed ``repro`` package);
-  exits non-zero only on error-severity findings.
+  exits non-zero only on error-severity findings;
+* ``daos chaos``                         — smoke-run a seeded fault
+  plan (the built-in chaos plan by default) against one workload and
+  report what fired, what degraded, and what recovered.
 
 ``run``, ``schemes`` and ``tune`` also accept ``--trace FILE`` to write
-the run's event stream alongside their normal report.
+the run's event stream alongside their normal report.  ``run``,
+``tune`` and ``sweep`` accept ``--faults PLAN`` to inject a fault plan
+(TOML/JSON, see ``repro.faults``) into the run.
+
+Errors derived from :class:`~repro.errors.DaosError` print one line to
+stderr and exit 2; anything else keeps its full traceback (it is a bug,
+not a usage problem).
 
 Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 """
@@ -43,6 +52,7 @@ from .analysis.recording import heatmap_to_pgm, load_record, record_metadata, sa
 from .analysis.report import format_normalized_rows
 from .analysis.wss import wss_from_snapshots
 from .errors import ConfigError, DaosError
+from .faults import builtin_chaos_plan, load_fault_plan
 from .lint import (
     DEFAULT_BASELINE_NAME,
     Severity,
@@ -101,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
     )
+    p_run.add_argument(
+        "--faults", metavar="PLAN", help="inject this fault plan (TOML/JSON file)"
+    )
 
     p_schemes = sub.add_parser("schemes", help="run with a custom scheme file")
     p_schemes.add_argument("workload")
@@ -114,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("-n", "--samples", type=int, default=10)
     p_tune.add_argument(
         "--trace", metavar="FILE", help="write the tuner's TuneStep JSONL here"
+    )
+    p_tune.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="inject this fault plan's probe failures into the tuner",
     )
 
     p_wss = sub.add_parser("wss", help="estimate the working set size")
@@ -144,6 +162,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    p_sweep.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="inject this fault plan's worker crashes into the sweep",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry a failed point this many times (default 1)",
+    )
+    p_sweep.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock timeout (pool mode only)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run under the trace bus; stream canonical JSONL events"
@@ -161,6 +197,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         metavar="FILE",
         help="schema-validate an existing trace file and print its summary",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="smoke-run a seeded fault plan; report faults, retries, degradation",
+    )
+    p_chaos.add_argument(
+        "workload",
+        nargs="?",
+        default="parsec3/swaptions",
+        help="workload to torment (default: parsec3/swaptions)",
+    )
+    p_chaos.add_argument(
+        "-c", "--config", default="rec", choices=sorted(CONFIGS)
+    )
+    p_chaos.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="fault plan to run (default: the built-in chaos plan)",
+    )
+    p_chaos.add_argument(
+        "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
     )
 
     p_lint = sub.add_parser(
@@ -282,6 +340,7 @@ def _trace_to_file(path):
 
 
 def _cmd_run(args) -> int:
+    plan = load_fault_plan(args.faults) if args.faults else None
     bus, sink = _trace_to_file(args.trace)
     try:
         result = run_experiment(
@@ -291,6 +350,7 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             time_scale=args.time_scale,
             trace=bus,
+            faults=plan,
         )
     finally:
         if sink is not None:
@@ -305,6 +365,12 @@ def _cmd_run(args) -> int:
             time_scale=args.time_scale,
         )
     _print_run(result, baseline)
+    if plan is not None:
+        shed = result.breakdown.get("shed_pages", 0)
+        print(
+            f"faults       : plan {plan.name or 'unnamed'} "
+            f"({len(plan)} spec(s)), {shed} page(s) shed"
+        )
     if sink is not None:
         print(f"trace: {sink.n_written} events written to {args.trace}")
     return 0
@@ -357,6 +423,7 @@ def _cmd_schemes(args) -> int:
 
 
 def _cmd_tune(args) -> int:
+    plan = load_fault_plan(args.faults) if args.faults else None
     bus, sink = _trace_to_file(args.trace)
     try:
         tuning, baseline, tuned = autotune_scheme(
@@ -366,6 +433,7 @@ def _cmd_tune(args) -> int:
             seed=args.seed,
             time_scale=args.time_scale,
             trace=bus,
+            faults=plan,
         )
     finally:
         if sink is not None:
@@ -464,11 +532,15 @@ def _cmd_sweep(args) -> int:
         sys.stderr.write(line)
         sys.stderr.flush()
 
+    plan = load_fault_plan(args.faults) if args.faults else None
     runner = SweepRunner(
         grid,
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=progress,
+        retries=args.retries,
+        point_timeout_s=args.point_timeout,
+        faults=plan,
     )
     report = runner.run()
     sys.stderr.write("\n")
@@ -479,7 +551,12 @@ def _cmd_sweep(args) -> int:
         f"({report.point_wall_s():.1f}s of point time)"
     )
     for outcome in report.failures():
-        print(f"FAILED {outcome.point.label()}: {outcome.error}", file=sys.stderr)
+        kind = f" [{outcome.error_type}]" if outcome.error_type else ""
+        print(
+            f"FAILED {outcome.point.label()}{kind}: {outcome.error} "
+            f"(attempts: {outcome.attempts})",
+            file=sys.stderr,
+        )
     totals = report.trace_event_totals()
     if totals:
         rendered = ", ".join(f"{kind}={count}" for kind, count in totals.items())
@@ -540,6 +617,46 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """One fault-plan smoke run: inject, survive, report the damage."""
+    plan = (
+        load_fault_plan(args.plan) if args.plan else builtin_chaos_plan(seed=args.seed)
+    )
+    bus = TraceBus(ring_capacity=0)
+    sink = None
+    if args.trace:
+        sink = JsonlTraceSink(args.trace)
+        bus.subscribe_all(sink)
+    try:
+        result = run_experiment(
+            args.workload,
+            config=args.config,
+            machine=args.machine,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            trace=bus,
+            faults=plan,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    counts = bus.summary().counts
+    kinds = ", ".join(sorted(plan.kinds()))
+    print(f"chaos plan   : {plan.name or 'builtin'} ({len(plan)} spec(s): {kinds})")
+    print(f"workload     : {result.workload} [{result.config}], seed {result.seed}")
+    print(f"runtime      : {result.runtime_us / 1e6:.2f}s (run completed)")
+    print(f"faults fired : {counts.get('FaultInjected', 0)}")
+    print(f"retries      : {counts.get('RetryAttempted', 0)}")
+    print(
+        f"degradation  : entered {counts.get('DegradedModeEntered', 0)}x, "
+        f"exited {counts.get('DegradedModeExited', 0)}x, "
+        f"{result.breakdown.get('shed_pages', 0)} page(s) shed"
+    )
+    if sink is not None:
+        print(f"trace: {sink.n_written} events written to {args.trace}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     diagnostics = []
     for scheme_file in args.schemes:
@@ -586,6 +703,7 @@ _COMMANDS = {
     "wss": _cmd_wss,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 
@@ -595,8 +713,10 @@ def main(argv=None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except DaosError as exc:
+        # Usage/configuration problems get one line and a distinct exit
+        # code; anything else is a bug and keeps its full traceback.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

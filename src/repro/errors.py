@@ -37,3 +37,17 @@ class TuningError(DaosError):
 
 class SwapFullError(DaosError):
     """A page-out was requested but the swap device has no free slots."""
+
+
+class FaultError(DaosError):
+    """An injected fault fired, or a fault plan could not be parsed.
+
+    Raised *by* the fault-injection subsystem at hook points (so
+    recovery paths have a typed exception to catch) and *about* it when
+    a plan file is malformed.
+    """
+
+
+class SweepError(DaosError):
+    """A sweep finished with failed points and the caller asked for
+    fail-fast semantics (:meth:`repro.sweep.runner.SweepReport.raise_if_failed`)."""

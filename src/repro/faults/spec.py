@@ -1,0 +1,170 @@
+"""The fault taxonomy: typed, validated fault specifications.
+
+A :class:`FaultSpec` is one seeded, sim-clock-scheduled fault: what goes
+wrong (``kind``), when (``start_us``/``end_us`` on the run's virtual
+clock), how often (``probability`` per opportunity), and how hard
+(``magnitude``, kind-specific).  Specs are frozen and canonical so a
+plan has a stable identity and replays deterministically.
+
+========================  =============  ====================================
+kind                      hook point     effect while active
+========================  =============  ====================================
+``swap_full``             kernel.reclaim the swap device reports zero free
+                                         slots: reclaim and pageout shed
+                                         load instead of evicting
+``pressure_spike``        kernel.pressure ``magnitude`` extra frames count as
+                                         allocated at the epoch watermark
+                                         check, forcing reclaim passes
+``late_epoch``            kernel.epoch   the epoch is charged ``magnitude``
+                                         extra stall microseconds (a stuck /
+                                         late epoch), per-epoch probability
+``flaky_bits``            monitor.sample each accessed/dirty-bit check reads
+                                         as clear with ``probability`` (lost
+                                         or imprecise PTE samples)
+``drop_sample``           monitor.sample a whole sampling tick's checks are
+                                         dropped with ``probability``
+``engine_stall``          engine.apply   a scheme-application pass is skipped
+                                         with ``probability`` (stuck kdamond)
+``probe_failure``         tuner.probe    a tuner probe raises FaultError with
+                                         ``probability``, at most
+                                         ``max_fires`` times
+``worker_crash``          sweep.worker   a sweep point's first attempt raises
+                                         FaultError with ``probability``
+                                         (decided statelessly per point)
+========================  =============  ====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+from ..errors import FaultError
+from ..units import parse_time
+
+__all__ = ["FaultSpec", "FAULT_KINDS", "HOOK_POINTS"]
+
+#: A practical "forever" for open-ended windows (≈ 146 years of sim time).
+_FOREVER = 2**62
+
+#: kind → the hook point it fires at.
+HOOK_POINTS: Dict[str, str] = {
+    "swap_full": "kernel.reclaim",
+    "pressure_spike": "kernel.pressure",
+    "late_epoch": "kernel.epoch",
+    "flaky_bits": "monitor.sample",
+    "drop_sample": "monitor.sample",
+    "engine_stall": "engine.apply",
+    "probe_failure": "tuner.probe",
+    "worker_crash": "sweep.worker",
+}
+
+FAULT_KINDS = frozenset(HOOK_POINTS)
+
+#: Kinds whose ``magnitude`` is required and must be positive.
+_NEEDS_MAGNITUDE = {
+    "pressure_spike": "extra allocated frames",
+    "late_epoch": "extra stall microseconds per epoch",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind + window + probability + magnitude."""
+
+    kind: str
+    #: Window on the virtual clock, ``[start_us, end_us)``.  For
+    #: ``probe_failure`` the clock is the tuner's cumulative virtual
+    #: time; ``worker_crash`` ignores the window (sweeps have no
+    #: shared clock across worker processes).
+    start_us: int = 0
+    end_us: int = _FOREVER
+    #: Per-opportunity firing probability (window kinds: probability
+    #: the window activates at all, drawn once on entry).
+    probability: float = 1.0
+    #: Maximum number of firings; -1 = unbounded.
+    max_fires: int = -1
+    #: Kind-specific scalar (see the module table); 0.0 where unused.
+    magnitude: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise FaultError(f"unknown fault kind {self.kind!r} (known: {known})")
+        if self.start_us < 0 or self.end_us <= self.start_us:
+            raise FaultError(
+                f"{self.kind}: empty or negative window "
+                f"[{self.start_us}, {self.end_us})"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultError(
+                f"{self.kind}: probability must be in (0, 1]: {self.probability}"
+            )
+        if self.max_fires < -1 or self.max_fires == 0:
+            raise FaultError(
+                f"{self.kind}: max_fires must be -1 (unbounded) or positive: "
+                f"{self.max_fires}"
+            )
+        needs = _NEEDS_MAGNITUDE.get(self.kind)
+        if needs is not None and self.magnitude <= 0:
+            raise FaultError(
+                f"{self.kind}: magnitude ({needs}) must be positive: "
+                f"{self.magnitude}"
+            )
+        if self.magnitude < 0:
+            raise FaultError(f"{self.kind}: magnitude cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def hook(self) -> str:
+        """The hook point this spec fires at."""
+        return HOOK_POINTS[self.kind]
+
+    def in_window(self, now: int) -> bool:
+        """Whether ``now`` falls inside the spec's window."""
+        return self.start_us <= now < self.end_us
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "FaultSpec":
+        """Build a spec from a plan-file table.
+
+        ``start``/``end`` accept raw integer microseconds or unit
+        strings (``"2s"``, ``"500ms"``); field aliases match the
+        dataclass otherwise.  Unknown keys are an error (typo guard).
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for key, value in row.items():
+            if key in ("start", "start_us"):
+                kwargs["start_us"] = _time_us(value, "start")
+            elif key in ("end", "end_us"):
+                kwargs["end_us"] = _time_us(value, "end")
+            elif key in known:
+                kwargs[key] = value
+            else:
+                raise FaultError(
+                    f"unknown fault-spec key {key!r} "
+                    f"(known: {', '.join(sorted(known | {'start', 'end'}))})"
+                )
+        if "kind" not in kwargs:
+            raise FaultError(f"fault spec needs a 'kind': {dict(row)!r}")
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise FaultError(f"malformed fault spec {dict(row)!r}: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-scalar form (plan-file round trip)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _time_us(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise FaultError(f"fault {what} must be microseconds or a time string: {value!r}")
+    if isinstance(value, str):
+        try:
+            return int(parse_time(value))
+        except Exception as exc:
+            raise FaultError(f"cannot parse fault {what} {value!r}: {exc}") from exc
+    return int(value)

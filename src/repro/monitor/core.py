@@ -56,11 +56,15 @@ class DataAccessMonitor:
         *,
         seed: int = 0,
         trace: Optional[TraceBus] = None,
+        faults=None,
     ):
         self.primitive = primitive
         self.attrs = attrs if attrs is not None else MonitorAttrs()
         #: Optional trace bus; sampling/aggregation ticks emit through it.
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector` shared with the
+        #: run; the sampler consults it for dropped ticks and flaky bits.
+        self.faults = faults
         self.rng = np.random.default_rng(seed)
         self.regions: List[Region] = []
         self.callbacks: List[Callable[[Snapshot], None]] = []
@@ -188,14 +192,31 @@ class DataAccessMonitor:
         pick (and clear) the next round's sample pages."""
         checked = 0
         hits = whits = None
-        if self._addrs is not None and self._addrs.size == len(self.regions):
+        # An injected drop_sample fault loses the whole tick's checks
+        # (a missed kdamond wakeup): counters stay put, the next sample
+        # round is still prepared below.
+        dropped = self.faults is not None and self.faults.drop_sample_tick(now)
+        if (
+            not dropped
+            and self._addrs is not None
+            and self._addrs.size == len(self.regions)
+        ):
             window = now - self._pending_since
             probs = self.primitive.access_probabilities(self._addrs, window)
             hits = self.rng.random(len(probs)) < probs
+            if self.faults is not None:
+                flaky = self.faults.flaky_bit_mask(now, len(probs))
+            else:
+                flaky = None
+            if flaky is not None:
+                # A lost PTE read clears both channels of the sample.
+                hits &= ~flaky
             self._acc += hits
             if self.attrs.track_writes:
                 wprobs = self.primitive.write_probabilities(self._addrs, window)
                 whits = self.rng.random(len(wprobs)) < wprobs
+                if flaky is not None:
+                    whits &= ~flaky
                 self._wacc += whits
             checked = len(self.regions)
             self.total_checks += checked

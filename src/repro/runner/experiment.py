@@ -15,6 +15,8 @@ import time
 from typing import Optional, Tuple, Union
 
 from ..errors import ConfigError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..lint.schemes import check_schemes
 from ..monitor.attrs import MonitorAttrs
 from ..monitor.core import DataAccessMonitor
@@ -98,6 +100,8 @@ def run_experiment(
     keep_snapshots: int = 0,
     trace: Optional[TraceBus] = None,
     collect_trace: bool = True,
+    faults: Optional[FaultPlan] = None,
+    oom_policy: Optional[str] = None,
 ) -> RunResult:
     """Run one experiment and return its raw measurements.
 
@@ -112,6 +116,12 @@ def run_experiment(
     ``collect_trace=False`` to disable tracing entirely — the emission
     sites then cost one ``is None`` check each.  Tracing never touches
     the simulation's RNG streams, so results are identical either way.
+
+    ``faults`` injects a seeded fault plan into the run: one
+    :class:`~repro.faults.FaultInjector` is shared by the kernel,
+    monitor and engine, and the kernel's ``oom_policy`` defaults to
+    ``"shed"`` so injected swap exhaustion degrades the run instead of
+    aborting it.  Pass ``oom_policy`` explicitly to override either way.
     """
     wall_start = time.perf_counter()
     spec = get_workload(workload) if isinstance(workload, str) else workload
@@ -123,6 +133,10 @@ def run_experiment(
     if trace is None and collect_trace:
         trace = TraceBus(ring_capacity=0)
 
+    injector = FaultInjector(faults, trace=trace) if faults is not None else None
+    if oom_policy is None:
+        oom_policy = "shed" if faults is not None else "raise"
+
     kernel = SimKernel(
         guest,
         swap=_build_swap(swap, host),
@@ -130,6 +144,8 @@ def run_experiment(
         thp=ThpPolicy(mode=cfg.thp_mode),
         seed=seed,
         trace=trace,
+        faults=injector,
+        oom_policy=oom_policy,
     )
     queue = EventQueue()
     if trace is not None:
@@ -150,6 +166,7 @@ def run_experiment(
             attrs if attrs is not None else MonitorAttrs(),
             seed=seed + 2,
             trace=trace,
+            faults=injector,
         )
         if snapshots is not None:
             # Downsample so a full run keeps ~240 snapshots: building a
@@ -192,7 +209,7 @@ def run_experiment(
                 context=f"config {cfg.name!r}",
                 logger=logging.getLogger("repro.lint"),
             )
-            engine = SchemesEngine(kernel, schemes, trace=trace)
+            engine = SchemesEngine(kernel, schemes, trace=trace, faults=injector)
             monitor.attach_engine(engine)
         monitor.start(queue)
 
@@ -260,6 +277,7 @@ def autotune_scheme(
     time_scale: float = 1.0,
     score_function: Optional[ScoreFunction] = None,
     trace: Optional[TraceBus] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[TuningResult, RunResult, RunResult]:
     """Auto-tune the prcl scheme for one workload (§4.3).
 
@@ -267,6 +285,11 @@ def autotune_scheme(
     run uses the best ``min_age`` the tuner found.  ``trace`` receives
     one :class:`~repro.trace.events.TuneStep` per sample; the per-sample
     experiment runs keep their own internal buses.
+
+    ``faults`` applies the plan's ``probe_failure`` specs at the tuner's
+    probe hook (retried with exponential backoff in simulated time); the
+    per-sample experiment runs themselves are left fault-free so scores
+    measure the scheme, not the chaos.
     """
     baseline = run_experiment(
         workload, config="baseline", machine=machine, seed=seed, time_scale=time_scale
@@ -292,6 +315,7 @@ def autotune_scheme(
         score_function=score_function,
         seed=seed + 10,
         trace=trace,
+        faults=FaultInjector(faults, trace=trace) if faults is not None else None,
     )
     result = tuner.tune(nr_samples)
     tuned = run_experiment(

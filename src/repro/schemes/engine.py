@@ -42,11 +42,15 @@ class SchemesEngine:
         schemes: Optional[Iterable[Scheme]] = None,
         *,
         trace: Optional[TraceBus] = None,
+        faults=None,
     ):
         self.kernel = kernel
         self.schemes: List[Scheme] = list(schemes) if schemes is not None else []
         #: Optional trace bus; apply/quota/watermark decisions emit here.
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector`; an injected
+        #: ``engine_stall`` skips whole apply passes (a stuck kdamond).
+        self.faults = faults
 
     def add(self, scheme: Scheme) -> None:
         """Append a scheme; schemes apply in installation order."""
@@ -61,6 +65,11 @@ class SchemesEngine:
     # ------------------------------------------------------------------
     def apply(self, monitor, now: int) -> None:
         """One engine pass: called by the monitor at every aggregation."""
+        if self.faults is not None and self.faults.engine_stalled(now):
+            # Injected stall: the pass is skipped wholesale; quotas and
+            # watermark state are left untouched, exactly as if the
+            # kdamond never got scheduled this interval.
+            return
         attrs = monitor.attrs
         # Physical-address monitors hand out frame-address regions;
         # actions must go through the rmap-based back-ends.

@@ -25,7 +25,14 @@ import numpy as np
 
 from ..errors import ConfigError, SwapFullError
 from ..trace.bus import TraceBus
-from ..trace.events import EpochEnd, PageoutBatch, ReclaimPass, ThpPromotion
+from ..trace.events import (
+    DegradedModeEntered,
+    DegradedModeExited,
+    EpochEnd,
+    PageoutBatch,
+    ReclaimPass,
+    ThpPromotion,
+)
 from .costs import CostModel
 from .lru import LruReclaimer
 from .machine import GuestSpec, MachineSpec, guest_of
@@ -61,7 +68,13 @@ class SimKernel:
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
         trace: Optional[TraceBus] = None,
+        faults=None,
+        oom_policy: str = "raise",
     ):
+        if oom_policy not in ("raise", "shed"):
+            raise ConfigError(
+                f"oom_policy must be 'raise' or 'shed': {oom_policy!r}"
+            )
         if isinstance(guest, MachineSpec):
             guest = guest_of(guest)
         if not isinstance(guest, GuestSpec):
@@ -81,8 +94,16 @@ class SimKernel:
         self.metrics = KernelMetrics()
         #: Optional trace bus; every management path emits through it.
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector` shared with the run.
+        self.faults = faults
+        #: ``"raise"`` aborts with :class:`SwapFullError` when an
+        #: allocation cannot be backed; ``"shed"`` grants what fits,
+        #: reverts the rest of the batch, and enters degraded mode.
+        self.oom_policy = oom_policy
         self._vma_ids = {}  # VMA -> ordinal used in the frame table's rmap
         self._oom_reclaim_failed = False
+        self._degraded_reason = ""
+        self._degraded_since_us = 0
 
     # ------------------------------------------------------------------
     # Layout
@@ -172,15 +193,28 @@ class SimKernel:
             major = result["major"]
             minor = result["minor"]
             need_frames = major.size + minor.size
+            shed_pages = 0
             if need_frames:
-                self._ensure_frames(need_frames)
+                if self.oom_policy == "shed":
+                    granted = min(
+                        need_frames, self._free_after_reclaim(need_frames, now)
+                    )
+                else:
+                    self._ensure_frames(need_frames, now)
+                    granted = need_frames
+                if granted < need_frames:
+                    shed_pages = need_frames - granted
+                    major, minor = self._shed_batch(pt, major, minor, granted)
+                    self.metrics.shed_pages += shed_pages
+                    self._enter_degraded("oom", now)
                 alloc_for = np.concatenate((major, minor)) if major.size and minor.size else (
                     major if major.size else minor
                 )
-                new_frames = self.frames.allocate(
-                    alloc_for.size, self._vma_id(vma), alloc_for
-                )
-                pt.frame[alloc_for] = new_frames
+                if alloc_for.size:
+                    new_frames = self.frames.allocate(
+                        alloc_for.size, self._vma_id(vma), alloc_for
+                    )
+                    pt.frame[alloc_for] = new_frames
             if major.size:
                 latency = self.swap.load(major.size)
                 latency += self.costs.major_fault_overhead_us(major.size)
@@ -194,16 +228,19 @@ class SimKernel:
                 self.metrics.minor_faults += minor.size
 
             # Memory-stall cost: touches hitting huge-mapped chunks are
-            # cheaper (TLB walks skipped).
-            total_touches = touched.size * stall_weight
-            if pt.chunk_huge.any():
-                huge_hits = pt.huge_mask(touched)
-                huge_fraction = float(np.count_nonzero(huge_hits)) / touched.size
-            else:
-                huge_fraction = 0.0
-            self.metrics.runtime.memory_stall_us += self.costs.touch_cost_us(
-                total_touches, huge_fraction, tlb_scale
-            )
+            # cheaper (TLB walks skipped).  Shed pages were never really
+            # touched, so they carry no stall cost.
+            effective_touches = touched.size - shed_pages
+            if effective_touches > 0:
+                total_touches = effective_touches * stall_weight
+                if pt.chunk_huge.any():
+                    huge_hits = pt.huge_mask(touched)
+                    huge_fraction = float(np.count_nonzero(huge_hits)) / touched.size
+                else:
+                    huge_fraction = 0.0
+                self.metrics.runtime.memory_stall_us += self.costs.touch_cost_us(
+                    total_touches, huge_fraction, tlb_scale
+                )
             pt.add_rate(lo, hi, rate, stride)
             if write_fraction > 0.0:
                 pt.add_write_rate(lo, hi, rate * write_fraction, stride)
@@ -212,6 +249,10 @@ class SimKernel:
         """Close the epoch: charge nominal compute (already scaled by the
         caller for CPU speed), run pressure reclaim, sample memory."""
         self.metrics.runtime.compute_us += compute_us
+        if self.faults is not None:
+            # A stuck/late epoch charges extra stall time; the injector
+            # traces the firing.
+            self.metrics.runtime.compute_us += float(self.faults.epoch_delay_us(now))
         self._pressure_reclaim(now)
         self.sample_memory(now)
         tr = self.trace
@@ -240,30 +281,112 @@ class SimKernel:
     # ------------------------------------------------------------------
     # Pressure reclaim (the baseline's two-list LRU path)
     # ------------------------------------------------------------------
-    def _ensure_frames(self, needed: int) -> None:
-        if self.frames.free_frames() >= needed:
-            return
-        deficit = needed - self.frames.free_frames()
-        self._reclaim(deficit, "alloc")
-        if self.frames.free_frames() < needed:
+    def _swap_free_pages(self, now: int) -> int:
+        """Swap slots available at ``now`` — zero while an injected
+        ``swap_full`` window is active."""
+        if self.faults is not None and self.faults.swap_is_full(now):
+            return 0
+        return self.swap.free_pages()
+
+    def _free_after_reclaim(self, needed: int, now: int) -> int:
+        """Free frames after (at most) one alloc-triggered reclaim pass."""
+        free = self.frames.free_frames()
+        if free >= needed:
+            return free
+        self._reclaim(needed - free, "alloc", now)
+        return self.frames.free_frames()
+
+    def _ensure_frames(self, needed: int, now: int) -> None:
+        if self._free_after_reclaim(needed, now) < needed:
             raise SwapFullError(
                 "OOM: reclaim could not free enough frames "
                 f"(need {needed}, free {self.frames.free_frames()})"
             )
 
+    @staticmethod
+    def _shed_batch(pt, major: np.ndarray, minor: np.ndarray, granted: int):
+        """Trim an allocation batch to ``granted`` frames.
+
+        Major faults keep priority (the workload is blocked on data that
+        already exists in swap); the overflow is reverted to its
+        pre-touch page state so the shed pages fault again next epoch.
+        """
+        keep_major = min(major.size, granted)
+        keep_minor = granted - keep_major
+        drop_major = major[keep_major:]
+        drop_minor = minor[keep_minor:]
+        if drop_major.size:
+            pt.present[drop_major] = False
+            pt.swapped[drop_major] = True
+            pt.dirty[drop_major] = False
+            pt.frame[drop_major] = -1
+        if drop_minor.size:
+            pt.present[drop_minor] = False
+            pt.dirty[drop_minor] = False
+            pt.frame[drop_minor] = -1
+        return major[:keep_major], minor[:keep_minor]
+
+    def _enter_degraded(self, reason: str, now: int) -> None:
+        if self._degraded_reason:
+            return
+        self._degraded_reason = reason
+        self._degraded_since_us = int(now)
+        tr = self.trace
+        if tr is not None:
+            tr.emit(
+                DegradedModeEntered(time_us=tr.now, subsystem="kernel", reason=reason)
+            )
+
+    def _maybe_recover(self, now: int) -> None:
+        """Leave degraded mode once swap can accept evictions again
+        (checked once per epoch, so event volume stays bounded)."""
+        if not self._degraded_reason and not self._oom_reclaim_failed:
+            return
+        if self._swap_free_pages(now) <= 0:
+            return
+        self._oom_reclaim_failed = False
+        reason = self._degraded_reason
+        if reason:
+            self._degraded_reason = ""
+            tr = self.trace
+            if tr is not None:
+                tr.emit(
+                    DegradedModeExited(
+                        time_us=tr.now,
+                        subsystem="kernel",
+                        reason=reason,
+                        degraded_us=max(0, int(now) - self._degraded_since_us),
+                    )
+                )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the kernel is currently shedding load."""
+        return bool(self._degraded_reason)
+
     def _pressure_reclaim(self, now: int) -> None:
+        if self.oom_policy == "shed":
+            self._maybe_recover(now)
+        allocated = self.frames.allocated
+        if self.faults is not None:
+            # A transient pressure spike counts phantom frames as
+            # allocated, forcing reclaim passes the workload alone would
+            # not have triggered.
+            allocated += self.faults.pressure_spike_frames(now)
         high = int(self.frames.n_frames * _HIGH_WATERMARK)
-        if self.frames.allocated <= high or self._oom_reclaim_failed:
+        if allocated <= high or self._oom_reclaim_failed:
             return
         low = int(self.frames.n_frames * _LOW_WATERMARK)
-        self._reclaim(self.frames.allocated - low, "pressure")
+        self._reclaim(allocated - low, "pressure", now)
 
-    def _reclaim(self, n_pages: int, trigger: str) -> None:
+    def _reclaim(self, n_pages: int, trigger: str, now: int) -> None:
         """Evict up to ``n_pages`` LRU-cold pages to swap.  ``trigger``
         records why the pass ran (``"alloc"`` or ``"pressure"``)."""
-        budget = min(n_pages, self.swap.free_pages())
+        budget = min(n_pages, self._swap_free_pages(now))
         if budget <= 0:
             self._oom_reclaim_failed = True
+            if self.oom_policy == "shed":
+                self._enter_degraded("swap-full", now)
             return
         victims = self.lru.select_victims(budget, rng=self.rng)
         evicted = written_back = 0
@@ -312,7 +435,7 @@ class SimKernel:
             candidates, _ = pt.pageout_range(lo, hi)
             if candidates.size == 0:
                 continue
-            allowed = min(candidates.size, self.swap.free_pages())
+            allowed = min(candidates.size, self._swap_free_pages(now))
             if allowed < candidates.size:
                 # Roll the overflow back to present.
                 rollback = candidates[allowed:]
@@ -353,7 +476,21 @@ class SimKernel:
             idx = pt.swap_in_range(lo, hi)
             if idx.size == 0:
                 continue
-            self._ensure_frames(idx.size)
+            if self.oom_policy == "shed":
+                granted = min(idx.size, self._free_after_reclaim(idx.size, now))
+                if granted < idx.size:
+                    # Prefetch is advisory: leave the overflow swapped.
+                    rollback = idx[granted:]
+                    pt.present[rollback] = False
+                    pt.swapped[rollback] = True
+                    pt.frame[rollback] = -1
+                    self.metrics.shed_pages += idx.size - granted
+                    self._enter_degraded("oom", now)
+                    idx = idx[:granted]
+                if idx.size == 0:
+                    continue
+            else:
+                self._ensure_frames(idx.size, now)
             new_frames = self.frames.allocate(idx.size, self._vma_id(vma), idx)
             pt.frame[idx] = new_frames
             latency = self.swap.load(idx.size)
@@ -388,7 +525,7 @@ class SimKernel:
             candidates = idx[pt.present[idx]]
             if pt.chunk_huge.any():
                 candidates = candidates[~pt.huge_mask(candidates)]
-            allowed = min(candidates.size, self.swap.free_pages())
+            allowed = min(candidates.size, self._swap_free_pages(now))
             candidates = candidates[:allowed]
             if candidates.size == 0:
                 continue
@@ -476,11 +613,22 @@ class SimKernel:
         """Promote the given chunks of ``vma``: allocate frames for the
         bloat pages, settle swap accounting, charge allocation latency."""
         pt = vma.pages
+        if self.oom_policy == "shed" and chunks.size:
+            # promote_chunks mutates page state irreversibly, so under
+            # shed pre-check the worst case (every subpage materialised)
+            # and trim the chunk list to what frames can back.
+            worst = int(chunks.size) * PAGES_PER_HUGE
+            granted = self._free_after_reclaim(worst, now)
+            if granted < worst:
+                chunks = chunks[: granted // PAGES_PER_HUGE]
+                self._enter_degraded("oom", now)
+            if chunks.size == 0:
+                return 0
         promoted, new_idx, n_swapped = pt.promote_chunks(chunks, now)
         if promoted.size == 0:
             return 0
         if new_idx.size:
-            self._ensure_frames(new_idx.size)
+            self._ensure_frames(new_idx.size, now)
             frames = self.frames.allocate(new_idx.size, self._vma_id(vma), new_idx)
             pt.frame[new_idx] = frames
         if n_swapped:

@@ -113,6 +113,9 @@ class KernelMetrics:
     reclaim_evictions: int = 0
     monitor_checks: int = 0
     monitor_cpu_us: float = 0.0
+    #: Pages an allocation batch asked for but degraded mode could not
+    #: back (``oom_policy="shed"``): the batch was trimmed, not aborted.
+    shed_pages: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """All counters plus the runtime breakdown, as a flat dict.

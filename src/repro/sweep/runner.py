@@ -18,11 +18,13 @@ from __future__ import annotations
 import json
 import multiprocessing
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from ..errors import ConfigError
+from ..errors import ConfigError, FaultError, SweepError
+from ..faults.injector import worker_crash_decision
 from .cache import ResultCache, code_version_tag, point_key
 from .grid import SweepGrid, SweepPoint
 from .points import get_point_function
@@ -33,24 +35,34 @@ __all__ = ["SweepRunner", "SweepReport", "SweepOutcome"]
 #: progress(done, total, outcome) — invoked once per finished point.
 ProgressFn = Callable[[int, int, "SweepOutcome"], None]
 
+#: ``(index, encoded_json, error, error_type, traceback, wall_s)`` —
+#: what one execution attempt reports back to the parent.
+RawResult = Tuple[int, Optional[str], Optional[str], Optional[str], Optional[str], float]
 
-def _execute_payload(payload: Tuple[int, str, tuple]) -> Tuple[int, Optional[str], Optional[str], float]:
-    """Run one point; returns ``(index, encoded_json, error, wall_s)``.
+
+def _execute_payload(payload: Tuple[int, str, tuple, bool]) -> RawResult:
+    """Run one point; returns a :data:`RawResult`.
 
     Module-level so ``spawn`` workers can unpickle it.  Encoding happens
     *inside* the executing process: the parent only ever sees the
     canonical form, keeping pool and serial paths exactly equivalent.
+    ``crash`` is the parent's pre-computed ``worker_crash`` fault
+    decision — shipped in the payload so the serial and pool paths
+    agree without sharing RNG state across processes.
     """
-    index, fn_name, items = payload
+    index, fn_name, items, crash = payload
     start = time.perf_counter()
     try:
+        if crash:
+            raise FaultError("injected sweep worker crash")
         fn = get_point_function(fn_name)
         value = fn(dict(items))
         encoded = canonical_json(encode_value(value))
-        return index, encoded, None, time.perf_counter() - start
+        return index, encoded, None, None, None, time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 — one bad point must not kill the sweep
         error = f"{type(exc).__name__}: {exc}"
-        return index, None, error, time.perf_counter() - start
+        tb = traceback_module.format_exc()
+        return index, None, error, type(exc).__name__, tb, time.perf_counter() - start
 
 
 @dataclass
@@ -62,6 +74,14 @@ class SweepOutcome:
     value: Any = None
     cached: bool = False
     error: Optional[str] = None
+    #: Exception class name of the failure (``"SwapFullError"``,
+    #: ``"TimeoutError"``, ...); None on success.
+    error_type: Optional[str] = None
+    #: Full traceback text from the executing process; None on success
+    #: (and for synthesized failures like pool timeouts).
+    traceback: Optional[str] = None
+    #: Execution attempts this sweep made for the point (0 = cache hit).
+    attempts: int = 1
     #: Wall-clock seconds the point took where it actually ran (for a
     #: cache hit: the original run's time, from the cache metadata).
     wall_s: float = 0.0
@@ -102,6 +122,25 @@ class SweepReport:
     def failures(self) -> List[SweepOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    def raise_if_failed(self, limit: int = 5) -> None:
+        """Fail fast: raise :class:`~repro.errors.SweepError` naming up
+        to ``limit`` failed points (type + message each); no-op when
+        every point succeeded."""
+        failed = self.failures()
+        if not failed:
+            return
+        lines = [
+            f"  {o.point.label()}: {o.error} (attempts: {o.attempts})"
+            for o in failed[:limit]
+        ]
+        more = len(failed) - limit
+        if more > 0:
+            lines.append(f"  ... and {more} more")
+        raise SweepError(
+            f"{len(failed)} of {self.n_total} sweep point(s) failed:\n"
+            + "\n".join(lines)
+        )
+
     def point_wall_s(self) -> float:
         """Sum of per-point wall clocks (= serial cost of the sweep)."""
         return sum(o.wall_s for o in self.outcomes)
@@ -129,6 +168,17 @@ class SweepRunner:
     ``multiprocessing`` pool (``spawn`` start method: workers import a
     clean interpreter, so results cannot depend on parent-process
     state).  ``cache_dir=None`` disables caching entirely.
+
+    Robustness knobs: a failed attempt is retried up to ``retries``
+    times before the point is reported failed; ``point_timeout_s``
+    bounds each pooled attempt's wall clock (a timed-out attempt is
+    synthesized as a ``TimeoutError`` failure and retried — the stuck
+    worker's slot is orphaned until the pool is torn down; the serial
+    path cannot preempt and ignores the timeout).  ``faults`` applies a
+    fault plan's ``worker_crash`` specs: crash decisions are a
+    stateless hash of ``(plan.seed, point_index)``, computed in the
+    parent, so they never perturb point *values* — cache keys stay
+    valid under any plan.
     """
 
     def __init__(
@@ -139,14 +189,38 @@ class SweepRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressFn] = None,
         start_method: str = "spawn",
+        retries: int = 1,
+        point_timeout_s: Optional[float] = None,
+        faults=None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be at least 1: {jobs}")
+        if retries < 0:
+            raise ConfigError(f"retries cannot be negative: {retries}")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ConfigError(f"point timeout must be positive: {point_timeout_s}")
         self.grid = grid
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.start_method = start_method
+        self.retries = retries
+        self.point_timeout_s = point_timeout_s
+        self._fault_seed = 0
+        self._crash_probs: List[float] = []
+        if faults is not None:
+            self._fault_seed = faults.seed
+            self._crash_probs = [
+                spec.probability
+                for spec in faults.specs
+                if spec.kind == "worker_crash"
+            ]
+
+    def _crash_injected(self, point_index: int, attempt: int) -> bool:
+        return any(
+            worker_crash_decision(self._fault_seed, prob, point_index, attempt)
+            for prob in self._crash_probs
+        )
 
     # ------------------------------------------------------------------
     def _preflight_schemes(self, points: List[SweepPoint]) -> None:
@@ -211,6 +285,7 @@ class SweepRunner:
                         key=key,
                         value=value,
                         cached=True,
+                        attempts=0,
                         wall_s=float(meta.get("wall_s", 0.0)),
                     ),
                 )
@@ -218,13 +293,21 @@ class SweepRunner:
                 pending.append(index)
 
         # --- execution pass ---------------------------------------------
-        def handle(raw: Tuple[int, Optional[str], Optional[str], float]) -> None:
-            index, encoded, error, wall_s = raw
+        def handle(raw: RawResult, attempts: int) -> None:
+            index, encoded, error, error_type, tb, wall_s = raw
             point, key = points[index], keys[index]
             if error is not None:
                 finish(
                     index,
-                    SweepOutcome(point=point, key=key, error=error, wall_s=wall_s),
+                    SweepOutcome(
+                        point=point,
+                        key=key,
+                        error=error,
+                        error_type=error_type,
+                        traceback=tb,
+                        attempts=attempts,
+                        wall_s=wall_s,
+                    ),
                 )
                 return
             value = decode_value(json.loads(encoded))
@@ -237,22 +320,84 @@ class SweepRunner:
                 )
             finish(
                 index,
-                SweepOutcome(point=point, key=key, value=value, wall_s=wall_s),
+                SweepOutcome(
+                    point=point, key=key, value=value, attempts=attempts, wall_s=wall_s
+                ),
             )
 
-        payloads = [(index, points[index].fn, points[index].items) for index in pending]
-        if payloads:
-            if self.jobs == 1 or len(payloads) == 1:
-                for payload in payloads:
-                    handle(_execute_payload(payload))
+        def make_payload(index: int, attempt: int) -> Tuple[int, str, tuple, bool]:
+            point = points[index]
+            return (index, point.fn, point.items, self._crash_injected(index, attempt))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for index in pending:
+                    attempt = 0
+                    while True:
+                        raw = _execute_payload(make_payload(index, attempt))
+                        if raw[2] is None or attempt >= self.retries:
+                            break
+                        attempt += 1
+                    handle(raw, attempts=attempt + 1)
             else:
-                context = multiprocessing.get_context(self.start_method)
-                workers = min(self.jobs, len(payloads))
-                with context.Pool(processes=workers) as pool:
-                    for raw in pool.imap_unordered(_execute_payload, payloads):
-                        handle(raw)
+                self._run_pool(pending, make_payload, handle)
 
         return SweepReport(
             outcomes=[o for o in outcomes if o is not None],
             elapsed_s=time.perf_counter() - started,
         )
+
+    def _run_pool(
+        self,
+        pending: List[int],
+        make_payload: Callable[[int, int], Tuple[int, str, tuple, bool]],
+        handle: Callable[[RawResult, int], None],
+    ) -> None:
+        """Pool fan-out with per-attempt timeouts and bounded retries.
+
+        ``apply_async`` + polling (instead of ``imap_unordered``) so a
+        hung worker cannot stall the whole sweep: a past-deadline
+        attempt is synthesized as a ``TimeoutError`` failure and
+        retried/reported while the stuck task's slot stays orphaned.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        workers = min(self.jobs, len(pending))
+        timeout = self.point_timeout_s
+        with context.Pool(processes=workers) as pool:
+            inflight: Dict[int, Tuple[Any, int, Optional[float]]] = {}
+
+            def submit(index: int, attempt: int) -> None:
+                deadline = time.monotonic() + timeout if timeout is not None else None
+                task = pool.apply_async(_execute_payload, (make_payload(index, attempt),))
+                inflight[index] = (task, attempt, deadline)
+
+            for index in pending:
+                submit(index, 0)
+            while inflight:
+                acted = False
+                for index in list(inflight):
+                    task, attempt, deadline = inflight[index]
+                    raw: Optional[RawResult] = None
+                    if task.ready():
+                        raw = task.get()
+                    elif deadline is not None and time.monotonic() > deadline:
+                        raw = (
+                            index,
+                            None,
+                            f"point timed out after {timeout:g}s",
+                            "TimeoutError",
+                            None,
+                            float(timeout),
+                        )
+                    else:
+                        continue
+                    acted = True
+                    del inflight[index]
+                    if raw[2] is not None and attempt < self.retries:
+                        submit(index, attempt + 1)
+                    else:
+                        handle(raw, attempts=attempt + 1)
+                if not acted and inflight:
+                    # Block briefly on one in-flight task instead of
+                    # spinning; any completion wakes the loop.
+                    next(iter(inflight.values()))[0].wait(0.05)

@@ -18,11 +18,15 @@ from .bus import Subscriber, TraceBus
 from .events import (
     EVENT_TYPES,
     AccessSampled,
+    DegradedModeEntered,
+    DegradedModeExited,
     EpochEnd,
+    FaultInjected,
     PageoutBatch,
     QuotaCharged,
     ReclaimPass,
     RegionsAggregated,
+    RetryAttempted,
     SchemeApplied,
     ThpPromotion,
     TraceEvent,
@@ -52,6 +56,10 @@ __all__ = [
     "PageoutBatch",
     "EpochEnd",
     "TuneStep",
+    "FaultInjected",
+    "RetryAttempted",
+    "DegradedModeEntered",
+    "DegradedModeExited",
     "EVENT_TYPES",
     "event_payload",
     "TraceSummary",

@@ -37,6 +37,10 @@ __all__ = [
     "PageoutBatch",
     "TuneStep",
     "EpochEnd",
+    "FaultInjected",
+    "RetryAttempted",
+    "DegradedModeEntered",
+    "DegradedModeExited",
     "EVENT_TYPES",
     "event_payload",
 ]
@@ -219,6 +223,80 @@ class EpochEnd(TraceEvent):
     #: Lifetime major/minor fault counters at epoch end.
     major_faults: int = 0
     minor_faults: int = 0
+
+
+# ----------------------------------------------------------------------
+# Fault-injection and degraded-mode events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """A fault spec fired at a hook point.
+
+    Window-scoped faults (``swap_full``, ``pressure_spike``,
+    ``flaky_bits``, ``drop_sample``) emit once per window *activation*;
+    per-opportunity faults (``late_epoch``, ``engine_stall``,
+    ``probe_failure``) emit once per firing.
+    """
+
+    #: Hook point the fault fired at (``kernel.reclaim``,
+    #: ``monitor.sample``, ``tuner.probe``, ...).
+    hook: str
+    #: Fault kind (see :mod:`repro.faults.spec`); named ``fault`` because
+    #: ``kind`` is the event type's own wire name.
+    fault: str
+    #: Index of the firing spec within its plan.
+    spec_index: int
+    #: Kind-specific scalar (delay in usec, spike frames, drop
+    #: probability, ...); 0.0 when the kind has none.
+    magnitude: float = 0.0
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class RetryAttempted(TraceEvent):
+    """A recovery path retried a failed operation after backing off.
+
+    ``backoff_us`` is *simulated* time: the retrying layer advanced its
+    virtual clock by the backoff, so the schedule is deterministic and
+    replayable."""
+
+    #: The retrying subsystem (``"tuner"``, ``"sweep"``).
+    subsystem: str
+    #: 1-based retry attempt number (1 = first retry).
+    attempt: int
+    #: Backoff charged before this retry, in virtual microseconds.
+    backoff_us: int
+    #: One-line description of the failure being retried.
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class DegradedModeEntered(TraceEvent):
+    """A layer stopped raising and started shedding load instead.
+
+    The kernel enters degraded mode when reclaim cannot make progress
+    (swap full) or an allocation could not be fully backed under the
+    ``shed`` OOM policy; it keeps running with partial batches until
+    the pressure clears."""
+
+    #: The degrading subsystem (``"kernel"``).
+    subsystem: str
+    #: Why: ``"swap-full"`` or ``"oom"``.
+    reason: str
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class DegradedModeExited(TraceEvent):
+    """A degraded layer recovered and resumed normal service."""
+
+    subsystem: str
+    #: The reason degraded mode had been entered with.
+    reason: str
+    #: Virtual time spent degraded, in microseconds.
+    degraded_us: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -14,9 +14,9 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import TuningError
+from ..errors import FaultError, TuningError
 from ..trace.bus import TraceBus
-from ..trace.events import TuneStep
+from ..trace.events import RetryAttempted, TuneStep
 from .fit import TrendEstimate, estimate_trend, find_peaks
 from .sampler import SamplePlan, nr_samples_for_budget
 from .score import ScoreFunction, default_score_function
@@ -68,7 +68,14 @@ class AutoTuner:
         score_function: Optional[ScoreFunction] = None,
         seed: int = 0,
         trace: Optional[TraceBus] = None,
+        faults=None,
+        probe_attempts: int = 3,
+        probe_backoff_us: int = 100_000,
     ):
+        if probe_attempts < 1:
+            raise TuningError(f"probe_attempts must be at least 1: {probe_attempts}")
+        if probe_backoff_us <= 0:
+            raise TuningError(f"probe backoff must be positive: {probe_backoff_us}")
         if hi <= lo:
             raise TuningError(f"empty parameter range [{lo}, {hi}]")
         self.evaluate = evaluate
@@ -83,17 +90,63 @@ class AutoTuner:
         self.rng = np.random.default_rng(seed)
         #: Optional trace bus; every sample emits a :class:`TuneStep`.
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector`; probes are
+        #: retried with exponential backoff when ``probe_failure`` fires.
+        self.faults = faults
+        self.probe_attempts = int(probe_attempts)
+        self.probe_backoff_us = int(probe_backoff_us)
+        # The tuner has no event queue: cumulative virtual time spent
+        # tuning (sample runtimes + retry backoffs) is tracked here and
+        # mirrored to an owned trace clock.  Fault windows key off it.
+        self._sim_now = 0
 
     # ------------------------------------------------------------------
+    def _advance(self, us: int) -> None:
+        self._sim_now += int(us)
+        tr = self.trace
+        if tr is not None and tr.owns_clock:
+            tr.advance_to(tr.now + int(us))
+
+    def _probe(self, param: float) -> Tuple[float, float]:
+        """One probe attempt: an injected failure raises before the
+        evaluation runs (a lost/corrupt measurement)."""
+        if self.faults is not None and self.faults.probe_fails(self._sim_now):
+            raise FaultError(f"injected probe failure at param={param:g}")
+        return self.evaluate(param)
+
     def _score_at(self, param: float, phase: str = "global") -> float:
-        runtime, rss = self.evaluate(param)
+        attempt = 0
+        backoff = self.probe_backoff_us
+        while True:
+            try:
+                runtime, rss = self._probe(param)
+                break
+            except FaultError as exc:
+                attempt += 1
+                if attempt >= self.probe_attempts:
+                    raise TuningError(
+                        f"probe at param={param:g} failed {attempt} time(s), "
+                        f"giving up: {exc}"
+                    ) from exc
+                # Back off in *simulated* time — the retry schedule is
+                # deterministic and replays with the plan.
+                self._advance(backoff)
+                tr = self.trace
+                if tr is not None:
+                    tr.emit(
+                        RetryAttempted(
+                            time_us=tr.now,
+                            subsystem="tuner",
+                            attempt=attempt,
+                            backoff_us=int(backoff),
+                            reason=str(exc),
+                        )
+                    )
+                backoff *= 2
         score = self.score_function(runtime, rss, self.orig_runtime, self.orig_rss)
+        self._advance(int(runtime))
         tr = self.trace
         if tr is not None:
-            # The tuner has no event queue, so an owned bus clock advances
-            # by each sample's virtual runtime — cumulative tuning time.
-            if tr.owns_clock:
-                tr.advance_to(tr.now + int(runtime))
             tr.emit(
                 TuneStep(
                     time_us=tr.now,

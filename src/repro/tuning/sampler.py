@@ -31,8 +31,14 @@ def nr_samples_for_budget(time_limit_us: int, unit_work_us: int) -> int:
         raise TuningError("unit work time must be positive")
     n = time_limit_us // unit_work_us
     if n < 2:
+        detail = (
+            "the budget does not cover even one unit of work"
+            if n == 0
+            else "fitting a trend needs at least two samples"
+        )
         raise TuningError(
-            f"time limit {time_limit_us}us affords {n} samples; need at least 2"
+            f"tuning budget {time_limit_us}us affords {n} sample(s) at "
+            f"{unit_work_us}us each: {detail}"
         )
     return int(n)
 

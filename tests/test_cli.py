@@ -47,7 +47,7 @@ class TestCommands:
 
     def test_unknown_workload_is_clean_error(self, capsys):
         rc = main(["--time-scale", "0.05", "run", "parsec3/doom"])
-        assert rc == 1
+        assert rc == 2
         assert "error:" in capsys.readouterr().err
 
     def test_run_baseline(self, capsys):
