@@ -1,0 +1,240 @@
+"""The pre-PR (pure-Python, object-per-region) monitor hot path.
+
+Frozen copy of the ``DataAccessMonitor`` inner loops as they existed
+before the struct-of-arrays ``RegionArray`` engine replaced them: one
+``Region`` object per region, per-object attribute reads/writes in the
+publish/merge/age/reset/split passes, and the same seeded-RNG Bernoulli
+sampling.  ``bench_monitor_hotpath.py`` drives this implementation and
+the live one side by side to measure (and gate) the epoch-loop speedup.
+
+This module is a measurement baseline, not production code: it has no
+trace bus, no fault hooks and no layout updates — exactly the per-tick
+work every epoch, scheme and sweep point used to pay, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+MIN_REGION_SIZE = 4096
+
+
+class LegacyRegion:
+    """One monitoring region (pre-PR object layout)."""
+
+    __slots__ = (
+        "start",
+        "end",
+        "nr_accesses",
+        "last_nr_accesses",
+        "nr_writes",
+        "write_ewma",
+        "age",
+        "sampling_addr",
+    )
+
+    def __init__(self, start: int, end: int):
+        self.start = int(start)
+        self.end = int(end)
+        self.nr_accesses = 0
+        self.last_nr_accesses = 0
+        self.nr_writes = 0
+        self.write_ewma = 0.0
+        self.age = 0
+        self.sampling_addr = int(start)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def _split_region(region: LegacyRegion, split_at: int) -> List[LegacyRegion]:
+    left = LegacyRegion(region.start, split_at)
+    right = LegacyRegion(split_at, region.end)
+    for child in (left, right):
+        child.nr_accesses = region.nr_accesses
+        child.last_nr_accesses = region.last_nr_accesses
+        child.nr_writes = region.nr_writes
+        child.write_ewma = region.write_ewma
+        child.age = region.age
+    return [left, right]
+
+
+def _merge_two(left: LegacyRegion, right: LegacyRegion) -> LegacyRegion:
+    merged = LegacyRegion(left.start, right.end)
+    total = left.size + right.size
+    merged.nr_accesses = int(
+        round((left.nr_accesses * left.size + right.nr_accesses * right.size) / total)
+    )
+    merged.last_nr_accesses = int(
+        round(
+            (left.last_nr_accesses * left.size + right.last_nr_accesses * right.size)
+            / total
+        )
+    )
+    merged.nr_writes = int(
+        round((left.nr_writes * left.size + right.nr_writes * right.size) / total)
+    )
+    merged.write_ewma = (
+        left.write_ewma * left.size + right.write_ewma * right.size
+    ) / total
+    merged.age = int(round((left.age * left.size + right.age * right.size) / total))
+    merged.sampling_addr = left.sampling_addr
+    return merged
+
+
+def _pick_sampling_addrs(
+    regions: List[LegacyRegion], rng: np.random.Generator
+) -> np.ndarray:
+    if not regions:
+        return np.empty(0, dtype=np.int64)
+    starts = np.array([r.start for r in regions], dtype=np.int64)
+    ends = np.array([r.end for r in regions], dtype=np.int64)
+    n_pages = (ends - starts) >> 12
+    offsets = (rng.random(len(regions)) * n_pages).astype(np.int64)
+    return starts + (offsets << 12)
+
+
+class LegacyMonitor:
+    """The pre-PR kdamond loop: sample/aggregate over Region objects."""
+
+    def __init__(self, primitive, attrs, *, seed: int = 0):
+        self.primitive = primitive
+        self.attrs = attrs
+        self.rng = np.random.default_rng(seed)
+        self.regions: List[LegacyRegion] = []
+        self._addrs: Optional[np.ndarray] = None
+        self._acc: Optional[np.ndarray] = None
+        self._wacc: Optional[np.ndarray] = None
+        self._pending_since = 0
+        self._last_nr_regions = 0
+        self.total_checks = 0
+        self.total_aggregations = 0
+        self.total_splits = 0
+        self.total_merges = 0
+
+    # -- initialisation ----------------------------------------------------
+    def init_regions(self) -> None:
+        ranges = self.primitive.target_ranges()
+        total = sum(end - start for start, end in ranges)
+        self.regions = []
+        for start, end in ranges:
+            share = max(1, round(self.attrs.min_nr_regions * (end - start) / total))
+            self.regions.extend(self._evenly_split(start, end, share))
+        self._reset_sampling_state()
+
+    @staticmethod
+    def _evenly_split(start: int, end: int, pieces: int) -> List[LegacyRegion]:
+        size = end - start
+        pieces = max(1, min(pieces, size // MIN_REGION_SIZE))
+        if pieces <= 1:
+            return [LegacyRegion(start, end)]
+        step = (size // pieces) & ~(MIN_REGION_SIZE - 1)
+        step = max(step, MIN_REGION_SIZE)
+        out = []
+        cursor = start
+        for _ in range(pieces - 1):
+            if end - (cursor + step) < MIN_REGION_SIZE:
+                break
+            out.append(LegacyRegion(cursor, cursor + step))
+            cursor += step
+        out.append(LegacyRegion(cursor, end))
+        return out
+
+    def _reset_sampling_state(self) -> None:
+        self._addrs = None
+        self._acc = np.zeros(len(self.regions), dtype=np.int64)
+        self._wacc = np.zeros(len(self.regions), dtype=np.int64)
+
+    # -- sampling tick -----------------------------------------------------
+    def sample_tick(self, now: int) -> None:
+        if self._addrs is not None and self._addrs.size == len(self.regions):
+            window = now - self._pending_since
+            probs = self.primitive.access_probabilities(self._addrs, window)
+            hits = self.rng.random(len(probs)) < probs
+            self._acc += hits
+            self.total_checks += len(self.regions)
+        self._addrs = _pick_sampling_addrs(self.regions, self.rng)
+        self._pending_since = now
+
+    # -- aggregation tick --------------------------------------------------
+    def aggregate_tick(self, now: int) -> None:
+        if self._addrs is not None and self._addrs.size == len(self.regions):
+            for region, addr in zip(self.regions, self._addrs):
+                region.sampling_addr = int(addr)
+        for region, count, wcount in zip(self.regions, self._acc, self._wacc):
+            region.nr_accesses = int(count)
+            region.nr_writes = int(wcount)
+            region.write_ewma = max(float(wcount), region.write_ewma * 0.95)
+            if region.write_ewma < 0.5:
+                region.write_ewma = 0.0
+        max_seen = int(self._acc.max()) if self._acc.size else 0
+
+        threshold = max(1, max_seen // 10)
+        self._merge_regions(threshold)
+
+        for region in self.regions:
+            region.last_nr_accesses = region.nr_accesses
+            region.nr_accesses = 0
+
+        self._split_regions()
+        self._reset_sampling_state()
+        self.total_aggregations += 1
+
+    # -- merge (with aging) ------------------------------------------------
+    def _merge_size_limit(self) -> int:
+        total = sum(r.size for r in self.regions)
+        return max(MIN_REGION_SIZE, total // self.attrs.min_nr_regions)
+
+    def _merge_regions(self, threshold: int) -> None:
+        if not self.regions:
+            return
+        sz_limit = self._merge_size_limit()
+        merged: List[LegacyRegion] = []
+        for region in self.regions:
+            if abs(region.nr_accesses - region.last_nr_accesses) > threshold:
+                region.age = 0
+            else:
+                region.age += 1
+            prev = merged[-1] if merged else None
+            if (
+                prev is not None
+                and prev.end == region.start
+                and abs(prev.nr_accesses - region.nr_accesses) <= threshold
+                and prev.size + region.size <= sz_limit
+            ):
+                merged[-1] = _merge_two(prev, region)
+                self.total_merges += 1
+            else:
+                merged.append(region)
+        self.regions = merged
+
+    # -- split -------------------------------------------------------------
+    def _split_regions(self) -> None:
+        nr = len(self.regions)
+        if nr > self.attrs.max_nr_regions // 2:
+            self._last_nr_regions = nr
+            return
+        subregions = 2
+        if nr < self.attrs.max_nr_regions // 3 and nr == self._last_nr_regions:
+            subregions = 3
+        out: List[LegacyRegion] = []
+        for region in self.regions:
+            out.extend(self._split_random(region, subregions))
+        self.total_splits += len(out) - nr
+        self._last_nr_regions = nr
+        self.regions = out
+
+    def _split_random(self, region: LegacyRegion, pieces: int) -> List[LegacyRegion]:
+        result = [region]
+        for _ in range(pieces - 1):
+            target = result[-1]
+            n_pages = target.size // MIN_REGION_SIZE
+            if n_pages < 2:
+                break
+            offset_pages = int(self.rng.integers(1, n_pages))
+            split_at = target.start + offset_pages * MIN_REGION_SIZE
+            result[-1:] = _split_region(target, split_at)
+        return result

@@ -25,7 +25,11 @@ Mirrors the upstream user-space tooling's verbs:
   exits non-zero only on error-severity findings;
 * ``daos chaos``                         — smoke-run a seeded fault
   plan (the built-in chaos plan by default) against one workload and
-  report what fired, what degraded, and what recovered.
+  report what fired, what degraded, and what recovered;
+* ``daos perf <workload>``               — profile one run: per-layer
+  event/op/estimated-cost counters riding the trace bus, emitted as a
+  deterministic JSON breakdown (same seed → same report, except the
+  ``volatile`` wall-clock block).
 
 ``run``, ``schemes`` and ``tune`` also accept ``--trace FILE`` to write
 the run's event stream alongside their normal report.  ``run``,
@@ -42,6 +46,7 @@ Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from pathlib import Path
@@ -64,6 +69,7 @@ from .lint import (
     render_text,
     write_baseline,
 )
+from .perf import profile_run
 from .runner.configs import CONFIGS, ExperimentConfig
 from .runner.experiment import autotune_scheme, run_experiment
 from .runner.results import normalize
@@ -219,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
+    )
+
+    p_perf = sub.add_parser(
+        "perf", help="profile one run; emit a per-layer JSON cost breakdown"
+    )
+    p_perf.add_argument("workload")
+    p_perf.add_argument("-c", "--config", default="rec", choices=sorted(CONFIGS))
+    p_perf.add_argument(
+        "-o", "--output", help="write the JSON report here (default: stdout)"
     )
 
     p_lint = sub.add_parser(
@@ -657,6 +672,23 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    report, _ = profile_run(
+        args.workload,
+        config=args.config,
+        machine=args.machine,
+        seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"perf report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     diagnostics = []
     for scheme_file in args.schemes:
@@ -704,6 +736,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "perf": _cmd_perf,
     "lint": _cmd_lint,
 }
 

@@ -12,13 +12,23 @@ upstream order:
 3. **schemes** are applied by the attached engine (if any);
 4. **reset** of the per-region counters (current → ``last_nr_accesses``);
 5. **split** of each region into 2 (or 3) randomly sized subregions,
-   skipped when it would exceed ``max_nr_regions``.
+   skipped when it would exceed ``max_nr_regions``;
+6. **prepare** the next sample round over the fresh region list, so the
+   full ``aggregation/sampling`` checks land in the next interval (a
+   region whose sample page is always hot reads exactly
+   ``attrs.max_nr_accesses``).
 
 The merge size limit (total target size / ``min_nr_regions``) guarantees
 at least ``min_nr_regions`` regions survive merging; the split guard
 keeps the count at or below ``max_nr_regions``.  Together they bound the
 overhead from above and the accuracy from below, independent of the size
 of the monitored memory — the paper's central mechanism.
+
+Region state lives in a struct-of-arrays
+:class:`~repro.perf.regionarray.RegionArray`; ``monitor.regions`` hands
+out write-through :class:`~repro.perf.regionarray.RegionView` objects
+(cached per structural generation, so an unchanged monitor returns the
+same list — and the same views — across reads).
 """
 
 from __future__ import annotations
@@ -28,20 +38,14 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..errors import MonitorStateError
+from ..perf.regionarray import RegionArray
 from ..sim.clock import EventQueue
 from ..trace.bus import TraceBus
 from ..trace.events import AccessSampled, RegionsAggregated
 from .attrs import MonitorAttrs
 from .primitives import MonitoringPrimitive
-from .region import (
-    MIN_REGION_SIZE,
-    Region,
-    merge_two,
-    pick_sampling_addrs,
-    regions_intersecting,
-    split_region,
-)
-from .snapshot import RegionSnapshot, Snapshot
+from .region import MIN_REGION_SIZE, Region, regions_intersecting
+from .snapshot import Snapshot
 
 __all__ = ["DataAccessMonitor"]
 
@@ -66,16 +70,16 @@ class DataAccessMonitor:
         #: run; the sampler consults it for dropped ticks and flaky bits.
         self.faults = faults
         self.rng = np.random.default_rng(seed)
-        self.regions: List[Region] = []
         self.callbacks: List[Callable[[Snapshot], None]] = []
         self.raw_callbacks: List = []
         self.engine = None  # attached SchemesEngine, if any
         self.running = False
+        # View cache for the ``regions`` property (see below).
+        self._views: Optional[List] = None
+        self._views_generation = -1
+        self.regions = []  # installs an empty RegionArray via the setter
         # Sampling state: addresses whose accessed bits were cleared at
         # _pending_since, to be checked at the next sampling tick.
-        self._addrs: Optional[np.ndarray] = None
-        self._acc: Optional[np.ndarray] = None
-        self._wacc: Optional[np.ndarray] = None
         self._pending_since = 0
         self._seen_generation: Optional[int] = None
         # Split heuristic state (upstream: split into 3 when the region
@@ -87,6 +91,31 @@ class DataAccessMonitor:
         self.total_splits = 0
         self.total_merges = 0
         self._events = []
+
+    # ------------------------------------------------------------------
+    # Region storage: struct-of-arrays with an object-view façade
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> List:
+        """The region list as write-through views over the backing
+        :class:`RegionArray`.  The list (and its elements) is cached and
+        reused until the next structural change, so callers holding a
+        reference across a no-op tick see the identical objects."""
+        if self._views is None or self._views_generation != self._ra.generation:
+            self._views = self._ra.views()
+            self._views_generation = self._ra.generation
+        return self._views
+
+    @regions.setter
+    def regions(self, value) -> None:
+        """Install a new region list (tests and layout updates assign
+        plain :class:`Region` lists here); resets the sampling state."""
+        self._ra = RegionArray.from_regions(list(value))
+        self._views = None
+        self._views_generation = -1
+        self._addrs: Optional[np.ndarray] = None
+        self._acc = np.zeros(self._ra.n, dtype=np.int64)
+        self._wacc = np.zeros(self._ra.n, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -142,11 +171,11 @@ class DataAccessMonitor:
         ranges = self.primitive.target_ranges()
         self._seen_generation = self.primitive.layout_generation()
         total = sum(end - start for start, end in ranges)
-        self.regions = []
+        out: List[Region] = []
         for start, end in ranges:
             share = max(1, round(self.attrs.min_nr_regions * (end - start) / total))
-            self.regions.extend(self._evenly_split(start, end, share))
-        self._reset_sampling_state()
+            out.extend(self._evenly_split(start, end, share))
+        self.regions = out
 
     @staticmethod
     def _evenly_split(start: int, end: int, pieces: int) -> List[Region]:
@@ -174,15 +203,22 @@ class DataAccessMonitor:
             return
         self._seen_generation = generation
         ranges = self.primitive.target_ranges()
-        self.regions = regions_intersecting(self.regions, ranges)
-        if not self.regions:
+        self.regions = regions_intersecting(self._ra.to_regions(), ranges)
+        if self._ra.n == 0:
             self.init_regions()
-        self._reset_sampling_state()
+        self._reset_sampling_state(now)
 
-    def _reset_sampling_state(self) -> None:
-        self._addrs = None
-        self._acc = np.zeros(len(self.regions), dtype=np.int64)
-        self._wacc = np.zeros(len(self.regions), dtype=np.int64)
+    def _reset_sampling_state(self, now: Optional[int] = None) -> None:
+        """Clear the accumulators; with ``now`` given, also prepare the
+        next sample round immediately (pick and "clear" sample pages),
+        so no sampling tick is spent merely preparing."""
+        self._acc = np.zeros(self._ra.n, dtype=np.int64)
+        self._wacc = np.zeros(self._ra.n, dtype=np.int64)
+        if now is None:
+            self._addrs = None
+        else:
+            self._addrs = self._ra.pick_sampling_addrs(self.rng)
+            self._pending_since = now
 
     # ------------------------------------------------------------------
     # Sampling tick: check previous sample pages, prepare the next
@@ -199,7 +235,7 @@ class DataAccessMonitor:
         if (
             not dropped
             and self._addrs is not None
-            and self._addrs.size == len(self.regions)
+            and self._addrs.size == self._ra.n
         ):
             window = now - self._pending_since
             probs = self.primitive.access_probabilities(self._addrs, window)
@@ -218,13 +254,13 @@ class DataAccessMonitor:
                 if flaky is not None:
                     whits &= ~flaky
                 self._wacc += whits
-            checked = len(self.regions)
+            checked = self._ra.n
             self.total_checks += checked
         # The kdamond wakeup itself costs CPU even on a tick that only
         # prepares the next sample round.
         self.primitive.charge_checks(checked, wakeups=1)
         # prepare_access_checks: pick and clear next sample pages.
-        self._addrs = pick_sampling_addrs(self.regions, self.rng)
+        self._addrs = self._ra.pick_sampling_addrs(self.rng)
         self._pending_since = now
         tr = self.trace
         if tr is not None:
@@ -232,7 +268,7 @@ class DataAccessMonitor:
                 tr.emit(
                     AccessSampled(
                         time_us=tr.now,
-                        nr_regions=len(self.regions),
+                        nr_regions=self._ra.n,
                         checked=checked,
                         hits=int(np.count_nonzero(hits)) if hits is not None else 0,
                         write_hits=(
@@ -248,20 +284,17 @@ class DataAccessMonitor:
     # ------------------------------------------------------------------
     def aggregate_tick(self, now: int) -> None:
         """One aggregation interval: merge/age, callbacks, schemes,
-        counter reset, split — in upstream kdamond order."""
+        counter reset, split, next-round prepare — in upstream kdamond
+        order."""
         # Publish accumulated counts (and the last pending sample
-        # addresses, for introspection) into the region objects.
-        if self._addrs is not None and self._addrs.size == len(self.regions):
-            for region, addr in zip(self.regions, self._addrs):
-                region.sampling_addr = int(addr)
-        for region, count, wcount in zip(self.regions, self._acc, self._wacc):
-            region.nr_accesses = int(count)
-            region.nr_writes = int(wcount)
-            # Peak-hold with slow decay; floored so long-idle regions
-            # eventually read as fully clean again.
-            region.write_ewma = max(float(wcount), region.write_ewma * 0.95)
-            if region.write_ewma < 0.5:
-                region.write_ewma = 0.0
+        # addresses, for introspection) into the region table.  Raises
+        # MonitorStateError if the accumulators have diverged in length
+        # from the region list (a callback mutating regions mid-interval
+        # used to be silently zip-truncated here).
+        addrs = self._addrs
+        if addrs is not None and addrs.size != self._ra.n:
+            addrs = None
+        self._ra.publish(self._acc, self._wacc, addrs)
         max_seen = int(self._acc.max()) if self._acc.size else 0
 
         threshold = max(1, max_seen // 10)
@@ -275,8 +308,8 @@ class DataAccessMonitor:
                 tr.emit(
                     RegionsAggregated(
                         time_us=tr.now,
-                        nr_regions=len(self.regions),
-                        total_bytes=sum(r.size for r in self.regions),
+                        nr_regions=self._ra.n,
+                        total_bytes=self._ra.total_bytes(),
                         max_nr_accesses=self.attrs.max_nr_accesses,
                         nr_merges=self.total_merges - merges_before,
                     )
@@ -293,102 +326,75 @@ class DataAccessMonitor:
         if self.engine is not None:
             self.engine.apply(self, now)
 
-        for region in self.regions:
-            region.last_nr_accesses = region.nr_accesses
-            region.nr_accesses = 0
-
+        self._ra.reset_counters()
         self._split_regions()
-        self._reset_sampling_state()
+        # Prepare the next sample round *now* (over the post-split
+        # regions): the next interval gets its full complement of
+        # aggregation/sampling checks, so a saturating region reads
+        # exactly attrs.max_nr_accesses.
+        self._reset_sampling_state(now)
         self.total_aggregations += 1
 
     def snapshot(self, now: int) -> Snapshot:
         """Freeze the current region state for callbacks/analysis."""
-        return Snapshot(
-            time_us=now,
-            regions=tuple(
-                RegionSnapshot(r.start, r.end, r.nr_accesses, r.age, r.nr_writes)
-                for r in self.regions
-            ),
-            max_nr_accesses=self.attrs.max_nr_accesses,
+        ra = self._ra
+        return Snapshot.from_columns(
+            now,
+            ra.start,
+            ra.end,
+            ra.nr_accesses,
+            ra.age,
+            ra.nr_writes,
+            self.attrs.max_nr_accesses,
         )
 
     # -- merge (with aging) ---------------------------------------------
     def _merge_size_limit(self) -> int:
-        total = sum(r.size for r in self.regions)
-        return max(MIN_REGION_SIZE, total // self.attrs.min_nr_regions)
+        return max(MIN_REGION_SIZE, self._ra.total_bytes() // self.attrs.min_nr_regions)
 
     def _merge_regions(self, threshold: int) -> None:
         """Upstream damon_merge_regions_of: age every region, then fold
         adjacent regions whose counts differ by at most ``threshold``,
         capping merged size so at least ``min_nr_regions`` survive."""
-        if not self.regions:
+        if self._ra.n == 0:
             return
-        sz_limit = self._merge_size_limit()
-        merged: List[Region] = []
-        for region in self.regions:
-            # Aging: stable access count → older; changed → reset.
-            if abs(region.nr_accesses - region.last_nr_accesses) > threshold:
-                region.age = 0
-            else:
-                region.age += 1
-            prev = merged[-1] if merged else None
-            if (
-                prev is not None
-                and prev.end == region.start
-                and abs(prev.nr_accesses - region.nr_accesses) <= threshold
-                and prev.size + region.size <= sz_limit
-            ):
-                merged[-1] = merge_two(prev, region)
-                self.total_merges += 1
-            else:
-                merged.append(region)
-        self.regions = merged
+        self.total_merges += self._ra.age_and_merge(threshold, self._merge_size_limit())
 
     # -- split -----------------------------------------------------------
     def _split_regions(self) -> None:
         """Upstream kdamond_split_regions: probe for intra-region skew by
         splitting every region at a random point, unless the count is
         already above half the maximum."""
-        nr = len(self.regions)
+        nr = self._ra.n
         if nr > self.attrs.max_nr_regions // 2:
             self._last_nr_regions = nr
             return
         subregions = 2
         if nr < self.attrs.max_nr_regions // 3 and nr == self._last_nr_regions:
             subregions = 3
-        out: List[Region] = []
-        for region in self.regions:
-            out.extend(self._split_random(region, subregions))
-        self.total_splits += len(out) - nr
+        self.total_splits += self._ra.split(self.rng, subregions)
         self._last_nr_regions = nr
-        self.regions = out
-
-    def _split_random(self, region: Region, pieces: int) -> List[Region]:
-        result = [region]
-        for _ in range(pieces - 1):
-            target = result[-1]
-            n_pages = target.size // MIN_REGION_SIZE
-            if n_pages < 2:
-                break
-            # Random page-aligned split point strictly inside the region.
-            offset_pages = int(self.rng.integers(1, n_pages))
-            split_at = target.start + offset_pages * MIN_REGION_SIZE
-            result[-1:] = split_region(target, split_at)
-        return result
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def nr_regions(self) -> int:
         """Current region count (bounded by the configured maximum)."""
-        return len(self.regions)
+        return self._ra.n
 
     def check_invariants(self) -> None:
-        """Assert the structural invariants the property tests rely on."""
-        prev_end = None
-        for region in self.regions:
-            if region.size < MIN_REGION_SIZE:
-                raise MonitorStateError(f"undersized region {region!r}")
-            if prev_end is not None and region.start < prev_end:
-                raise MonitorStateError(f"overlapping region {region!r}")
-            prev_end = region.end
+        """Assert the structural invariants the property tests rely on.
+
+        When the monitor tracks a primitive whose layout has not changed
+        since the last regions update, this includes the tiling
+        invariant: the regions cover the target ranges byte for byte
+        (mapped memory is never silently dropped from monitoring).
+        """
+        ranges = None
+        if (
+            self.primitive is not None
+            and self._seen_generation is not None
+            and self.primitive.layout_generation() == self._seen_generation
+        ):
+            ranges = self.primitive.target_ranges()
+        self._ra.check_invariants(ranges)

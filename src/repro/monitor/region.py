@@ -9,7 +9,7 @@ intervals that frequency has been stable — recency).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -137,29 +137,58 @@ def regions_intersecting(
     survive (clipped to it, keeping their counters — monitoring history
     is preserved across mmap/munmap), and uncovered parts of the new
     ranges get fresh regions.
+
+    Every byte of every range at least ``MIN_REGION_SIZE`` long ends up
+    covered (the tiling invariant): pieces that fall below the minimum
+    region size — clipped survivors and gap-fill slivers alike — are
+    absorbed into the adjacent region instead of being dropped, so
+    mapped memory never silently leaves monitoring.
     """
     out: List[Region] = []
     for range_start, range_end in ranges:
+        # Tile the range with (start, end, source-or-None) pieces:
+        # clipped survivors interleaved with gap fills, any size.
+        pieces: List[tuple] = []
         covered = range_start
         for region in regions:
             if not region.overlaps(range_start, range_end):
                 continue
             lo = max(region.start, range_start)
             hi = min(region.end, range_end)
-            if hi - lo < MIN_REGION_SIZE:
-                continue
-            if lo - covered >= MIN_REGION_SIZE:
-                out.append(Region(covered, lo))
-            clipped = Region(lo, hi)
-            clipped.nr_accesses = region.nr_accesses
-            clipped.last_nr_accesses = region.last_nr_accesses
-            clipped.nr_writes = region.nr_writes
-            clipped.write_ewma = region.write_ewma
-            clipped.age = region.age
-            out.append(clipped)
+            if lo > covered:
+                pieces.append((covered, lo, None))
+            pieces.append((lo, hi, region))
             covered = hi
-        if range_end - covered >= MIN_REGION_SIZE:
-            out.append(Region(covered, range_end))
+        if range_end > covered:
+            pieces.append((covered, range_end, None))
+        # Absorb sub-minimum slivers into the next piece (the last one
+        # into the previous): neighbours extend over them, keeping their
+        # own counters.
+        merged: List[tuple] = []
+        carry: Optional[int] = None
+        for start, end, source in pieces:
+            if carry is not None:
+                start = carry
+                carry = None
+            if end - start < MIN_REGION_SIZE:
+                carry = start
+                continue
+            merged.append((start, end, source))
+        if carry is not None:
+            if merged:
+                last_start, _, last_source = merged[-1]
+                merged[-1] = (last_start, range_end, last_source)
+            # else: the whole range is below the minimum region size —
+            # too small to monitor at page granularity; skip it.
+        for start, end, source in merged:
+            region = Region(start, end)
+            if source is not None:
+                region.nr_accesses = source.nr_accesses
+                region.last_nr_accesses = source.last_nr_accesses
+                region.nr_writes = source.nr_writes
+                region.write_ewma = source.write_ewma
+                region.age = source.age
+            out.append(region)
     return out
 
 

@@ -53,6 +53,32 @@ class Snapshot:
     #: ``nr_accesses``, needed to turn counts into frequencies.
     max_nr_accesses: int
 
+    @classmethod
+    def from_columns(
+        cls,
+        time_us: int,
+        start,
+        end,
+        nr_accesses,
+        age,
+        nr_writes,
+        max_nr_accesses: int,
+    ) -> "Snapshot":
+        """Freeze parallel column arrays (the monitor's struct-of-arrays
+        region table) into a snapshot in one pass, without an
+        intermediate region-object materialisation."""
+        regions = tuple(
+            RegionSnapshot(s, e, n, a, w)
+            for s, e, n, a, w in zip(
+                start.tolist(),
+                end.tolist(),
+                nr_accesses.tolist(),
+                age.tolist(),
+                nr_writes.tolist(),
+            )
+        )
+        return cls(time_us=time_us, regions=regions, max_nr_accesses=max_nr_accesses)
+
     def total_size(self) -> int:
         """Bytes covered by all regions."""
         return sum(r.size for r in self.regions)

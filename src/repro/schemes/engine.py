@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+import numpy as np
+
 from ..sim.kernel import SimKernel
 from ..trace.bus import TraceBus
 from ..trace.events import QuotaCharged, SchemeApplied, WatermarkTransition
@@ -92,7 +94,20 @@ class SchemesEngine:
                 if not now_active:
                     continue
             scheme.stats.nr_intervals += 1
-            matching = [r for r in monitor.regions if scheme.pattern.matches(r, attrs)]
+            ra = getattr(monitor, "_ra", None)
+            if ra is not None:
+                # Array-aware fast path: one vectorized pattern pass over
+                # the monitor's column table, then views only for the
+                # (typically few) matching regions.
+                mask = scheme.pattern.match_mask(ra, attrs)
+                if not mask.any():
+                    continue
+                regions = monitor.regions
+                matching = [regions[i] for i in np.flatnonzero(mask)]
+            else:
+                matching = [
+                    r for r in monitor.regions if scheme.pattern.matches(r, attrs)
+                ]
             if not matching:
                 continue
             pass_tried = pass_applied = 0

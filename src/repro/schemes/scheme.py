@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import SchemeError
 from ..monitor.attrs import MonitorAttrs
 from ..monitor.region import Region
@@ -100,6 +102,28 @@ class AccessPattern:
             else attrs.age_intervals(self.max_age_us)
         )
         return min_age <= region.age <= max_age
+
+    def match_mask(self, ra, attrs: MonitorAttrs) -> "np.ndarray":
+        """Vectorized :meth:`matches` over a struct-of-arrays region
+        table (:class:`~repro.perf.regionarray.RegionArray`): one boolean
+        per region, identical to calling ``matches`` on each view —
+        including the float tolerance at the frequency bounds and the
+        write-channel short-circuit."""
+        sizes = ra.end - ra.start
+        mask = (sizes >= self.min_size) & (sizes <= self.max_size)
+        max_nr = attrs.max_nr_accesses
+        mask &= (ra.nr_accesses >= self.min_freq * max_nr - 1e-9) & (
+            ra.nr_accesses <= self.max_freq * max_nr + 1e-9
+        )
+        if self.min_wfreq > 0.0 or self.max_wfreq < 1.0:
+            writes = np.maximum(ra.nr_writes, ra.write_ewma)
+            mask &= (writes >= self.min_wfreq * max_nr - 1e-9) & (
+                writes <= self.max_wfreq * max_nr + 1e-9
+            )
+        mask &= ra.age >= attrs.age_intervals(self.min_age_us)
+        if self.max_age_us != UNLIMITED:
+            mask &= ra.age <= attrs.age_intervals(self.max_age_us)
+        return mask
 
 
 @dataclass

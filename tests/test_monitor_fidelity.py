@@ -1,0 +1,202 @@
+"""Regression tests for the monitor hot-path fidelity fixes.
+
+Three real bugs, each with a test that fails on the pre-fix code:
+
+1. **Lost sampling check** — ``aggregate_tick`` used to end by clearing
+   the sampling state, so the first sampling tick of every aggregation
+   interval only *prepared* and the observable access-count ceiling was
+   ``aggregation/sampling − 1``, never the ``attrs.max_nr_accesses``
+   the schemes engine quantizes against.
+2. **Dropped address-space slivers** — ``regions_intersecting`` used to
+   silently discard sub-``MIN_REGION_SIZE`` pieces (clipped survivors
+   and gap fills), so after layout churn the region list stopped tiling
+   the target ranges: mapped bytes left monitoring forever.
+3. **Silent zip truncation** — the counter-publish step used to
+   ``zip()`` regions with the accumulator arrays; a length divergence
+   (a callback mutating the region list mid-interval) dropped counts
+   without any error instead of raising ``MonitorStateError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitorStateError
+from repro.monitor.attrs import MonitorAttrs
+from repro.monitor.core import DataAccessMonitor
+from repro.monitor.primitives import MonitoringPrimitive
+from repro.monitor.region import MIN_REGION_SIZE, Region, regions_intersecting
+from repro.sim.clock import EventQueue
+from repro.units import MIB, MSEC
+
+from tests.helpers import BASE
+
+K = MIN_REGION_SIZE
+
+ATTRS = MonitorAttrs(
+    sampling_interval_us=1 * MSEC,
+    aggregation_interval_us=20 * MSEC,
+    regions_update_interval_us=200 * MSEC,
+    min_nr_regions=5,
+    max_nr_regions=100,
+)
+
+
+class SaturatingPrimitive(MonitoringPrimitive):
+    """Every sample check hits: the ceiling-probing workload."""
+
+    name = "vaddr"
+
+    def __init__(self, ranges):
+        self._ranges = list(ranges)
+
+    def target_ranges(self):
+        return list(self._ranges)
+
+    def layout_generation(self):
+        return 0
+
+    def access_probabilities(self, addrs, window_us):
+        return np.ones(len(addrs))
+
+    def write_probabilities(self, addrs, window_us):
+        return np.zeros(len(addrs))
+
+    def charge_checks(self, n_checks, wakeups=1):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Fix 1: the full complement of checks lands every aggregation interval
+# ----------------------------------------------------------------------
+class TestSamplingCheckNotLost:
+    def test_saturating_workload_reaches_max_nr_accesses(self):
+        """A region whose sample page is always hot must read exactly
+        ``attrs.max_nr_accesses`` — with the lost-check bug the maximum
+        observable count was ``max_nr_accesses - 1`` forever."""
+        monitor = DataAccessMonitor(
+            SaturatingPrimitive([(BASE, BASE + 4 * MIB)]), ATTRS, seed=3
+        )
+        queue = EventQueue()
+        maxima = []
+        monitor.register_callback(
+            lambda snap: maxima.append(max(r.nr_accesses for r in snap.regions))
+        )
+        monitor.start(queue)
+        queue.run_for(4 * ATTRS.aggregation_interval_us)
+        assert len(maxima) >= 3
+        # From the second interval on, every interval carries its full
+        # aggregation/sampling checks.
+        assert max(maxima) == ATTRS.max_nr_accesses
+        assert all(m == ATTRS.max_nr_accesses for m in maxima[1:])
+
+    def test_counts_never_exceed_the_ceiling(self):
+        """The fix must not overshoot: the ceiling stays a ceiling."""
+        monitor = DataAccessMonitor(
+            SaturatingPrimitive([(BASE, BASE + 4 * MIB)]), ATTRS, seed=4
+        )
+        queue = EventQueue()
+        seen = []
+        monitor.register_raw_callback(
+            lambda mon, now: seen.extend(r.nr_accesses for r in mon.regions)
+        )
+        monitor.start(queue)
+        queue.run_for(6 * ATTRS.aggregation_interval_us)
+        assert seen
+        assert max(seen) <= ATTRS.max_nr_accesses
+
+
+# ----------------------------------------------------------------------
+# Fix 2: layout clipping never drops bytes
+# ----------------------------------------------------------------------
+def _counted(start, end, nr=7, last=5, age=3, writes=2):
+    region = Region(start, end)
+    region.nr_accesses = nr
+    region.last_nr_accesses = last
+    region.age = age
+    region.nr_writes = writes
+    return region
+
+
+class TestRegionsIntersectingTiling:
+    def test_sub_min_gap_sliver_is_absorbed_not_dropped(self):
+        """A sub-page hole between two survivors used to vanish from
+        monitoring; now the next region extends down over it."""
+        regions = [_counted(0, K, nr=1), _counted(K + K // 2, 3 * K, nr=9)]
+        ranges = [(0, 3 * K)]
+        out = regions_intersecting(regions, ranges)
+        assert sum(r.size for r in out) == 3 * K  # tiling: no lost bytes
+        covering = next(r for r in out if r.start <= K + K // 2 < r.end)
+        assert covering.start == K  # extended over the sliver
+        assert covering.nr_accesses == 9  # keeping its own counters
+
+    def test_sub_min_clipped_survivor_is_absorbed_not_dropped(self):
+        """A survivor clipped below the minimum size used to be
+        discarded (with its bytes); now the previous region extends over
+        it."""
+        regions = [_counted(0, K, nr=4), _counted(K, 2 * K, nr=8)]
+        ranges = [(0, K + K // 4)]
+        out = regions_intersecting(regions, ranges)
+        assert sum(r.size for r in out) == K + K // 4
+        assert len(out) == 1
+        assert (out[0].start, out[0].end) == (0, K + K // 4)
+        assert out[0].nr_accesses == 4
+
+    def test_aligned_layouts_unchanged(self):
+        """Page-aligned clipping (the common case) behaves exactly as
+        before: survivors keep counters, uncovered space gets fresh
+        regions."""
+        regions = [_counted(0, 2 * K, nr=6), _counted(2 * K, 4 * K, nr=2)]
+        ranges = [(K, 6 * K)]
+        out = regions_intersecting(regions, ranges)
+        assert [(r.start, r.end) for r in out] == [(K, 2 * K), (2 * K, 4 * K), (4 * K, 6 * K)]
+        assert [r.nr_accesses for r in out] == [6, 2, 0]
+
+    def test_whole_range_below_minimum_is_skipped(self):
+        assert regions_intersecting([_counted(0, K)], [(0, K // 2)]) == []
+
+    def test_monitor_invariants_include_tiling(self):
+        """check_invariants now asserts the region list covers the
+        target ranges byte for byte."""
+        monitor = DataAccessMonitor(
+            SaturatingPrimitive([(BASE, BASE + 16 * MIB)]), ATTRS, seed=1
+        )
+        monitor.init_regions()
+        monitor.check_invariants()  # tiles after init
+        monitor.regions = monitor.regions[:-1]  # break the tiling
+        with pytest.raises(MonitorStateError, match="tile"):
+            monitor.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Fix 3: counter publish fails loudly on length divergence
+# ----------------------------------------------------------------------
+class TestCounterPublishStrict:
+    def _monitor(self):
+        monitor = DataAccessMonitor(primitive=None, attrs=ATTRS, seed=2)
+        monitor.regions = [Region(0, K), Region(K, 2 * K), Region(2 * K, 3 * K)]
+        return monitor
+
+    def test_short_accumulator_raises_with_both_lengths(self):
+        monitor = self._monitor()
+        monitor._acc = np.zeros(2, dtype=np.int64)  # a callback "ate" a region
+        with pytest.raises(MonitorStateError, match=r"3 regions.*2 access"):
+            monitor.aggregate_tick(ATTRS.aggregation_interval_us)
+
+    def test_long_write_accumulator_raises(self):
+        monitor = self._monitor()
+        monitor._wacc = np.zeros(5, dtype=np.int64)
+        with pytest.raises(MonitorStateError, match=r"5 write"):
+            monitor.aggregate_tick(ATTRS.aggregation_interval_us)
+
+    def test_matching_lengths_publish_cleanly(self):
+        monitor = self._monitor()
+        monitor._acc = np.array([1, 2, 3], dtype=np.int64)
+        published = []
+        monitor.register_raw_callback(
+            lambda mon, now: published.extend(r.nr_accesses for r in mon.regions)
+        )
+        monitor.aggregate_tick(ATTRS.aggregation_interval_us)
+        # Merge may fold the similar-count neighbours; the weighted
+        # averages still come from the published values.
+        assert published
+        assert min(published) >= 1
