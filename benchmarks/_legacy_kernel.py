@@ -1,0 +1,1471 @@
+"""Frozen pre-vectorization kernel: the differential-testing reference.
+
+This module is a verbatim snapshot of the simulated kernel's per-VMA
+loop implementation (``sim/pagetable.py`` / ``sim/vma.py`` /
+``sim/lru.py`` / ``sim/thp.py`` / ``sim/kernel.py``) taken immediately
+before the flat struct-of-arrays rewrite.  It exists so that
+
+* ``tests/test_kernel_differential.py`` can run seeded experiments
+  through both implementations and assert byte-identical metrics and
+  trace streams, and
+* ``benchmarks/bench_kernel_hotpath.py`` can measure the end-to-end
+  speedup of the rewrite against the exact code it replaced.
+
+Do not "fix" or modernise this file: its value is that it never changes.
+Stable leaf modules (costs, machine, metrics, physical frames, swap
+devices, trace events) are imported live — the snapshot covers exactly
+the layers the rewrite touches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AddressSpaceError, ConfigError, SwapFullError
+from repro.sim.costs import CostModel
+from repro.sim.lru import LRU_SCAN_INTERVAL_US
+from repro.sim.machine import GuestSpec, MachineSpec, guest_of
+from repro.sim.metrics import KernelMetrics
+from repro.sim.pagetable import NEVER, PAGE_SIZE, PAGES_PER_HUGE
+from repro.sim.physmem import FrameTable
+from repro.sim.swap import SwapDevice, ZramDevice
+from repro.sim.thp import ThpPolicy
+from repro.units import SEC
+from repro.trace.bus import TraceBus
+from repro.trace.events import (
+    DegradedModeEntered,
+    DegradedModeExited,
+    EpochEnd,
+    PageoutBatch,
+    ReclaimPass,
+    ThpPromotion,
+)
+
+__all__ = ["LegacySimKernel"]
+
+class PageTable:
+    """State arrays for ``n_pages`` contiguous virtual pages.
+
+    Attributes
+    ----------
+    present : bool[n]
+        Page is resident in DRAM (has a frame).
+    swapped : bool[n]
+        Page content lives on the swap device.
+    rate : float32[n]
+        Current-epoch touch rate in touches/second (accessed-bit model).
+    last_touch : int64[n]
+        Virtual time (usec) of the most recent concrete touch; ``NEVER``
+        if untouched.  Drives the LRU baseline and THP demotion.
+    touch_count : int64[n]
+        Cumulative concrete touches — ground truth for accuracy tests.
+    frame : int64[n]
+        Physical frame number, or -1 when not present.
+    write_rate : float32[n]
+        Current-epoch write rate (dirty-bit model; write channel).
+    dirty : bool[n]
+        PTE dirty bit: set on write, cleared by writeback.
+    bloat : bool[n]
+        Resident purely due to a huge-page promotion, never touched —
+        the only pages a demotion may free.
+    lru_gen : int8[n]
+        LRU placement class (-1 deprioritised / 0 normal / +1 protected)
+        set by the LRU_PRIO / LRU_DEPRIO actions.
+    chunk_huge : bool[n_chunks]
+        The 2 MiB chunk is mapped by a huge page.
+    chunk_promoted_at : int64[n_chunks]
+        Virtual time of the chunk's most recent promotion (``NEVER`` if
+        never promoted); used to return bloat on demotion.
+    """
+
+    __slots__ = (
+        "n_pages",
+        "present",
+        "swapped",
+        "rate",
+        "write_rate",
+        "dirty",
+        "last_touch",
+        "touch_count",
+        "frame",
+        "bloat",
+        "lru_gen",
+        "n_chunks",
+        "chunk_huge",
+        "chunk_promoted_at",
+        "_chunk_rates",
+    )
+
+    def __init__(self, n_pages: int):
+        if n_pages <= 0:
+            raise ConfigError(f"a VMA needs at least one page: {n_pages}")
+        self.n_pages = int(n_pages)
+        self.present = np.zeros(n_pages, dtype=bool)
+        self.swapped = np.zeros(n_pages, dtype=bool)
+        self.rate = np.zeros(n_pages, dtype=np.float32)
+        # Write channel (the paper's stated future work: distinguishing
+        # reads from writes).  ``dirty`` models the PTE dirty bit: set on
+        # write, cleared by writeback (swap-out); ``write_rate`` is the
+        # per-epoch write rate feeding the dirty-bit sampling model.
+        self.write_rate = np.zeros(n_pages, dtype=np.float32)
+        self.dirty = np.zeros(n_pages, dtype=bool)
+        self.last_touch = np.full(n_pages, NEVER, dtype=np.int64)
+        self.touch_count = np.zeros(n_pages, dtype=np.int64)
+        self.frame = np.full(n_pages, -1, dtype=np.int64)
+        # Pages made resident purely by a huge-page promotion and never
+        # touched since: the only pages a demotion may free (they carry
+        # no application data).
+        self.bloat = np.zeros(n_pages, dtype=bool)
+        # LRU placement class: -1 = deprioritised (inactive tail),
+        # 0 = normal, +1 = prioritised (active head).  Reclaim consumes
+        # lower classes first; the LRU_PRIO/LRU_DEPRIO actions set it.
+        self.lru_gen = np.zeros(n_pages, dtype=np.int8)
+        # Only chunks fully inside the mapping can be huge-mapped (a huge
+        # page needs a full, aligned 2 MiB of VMA); tail pages past the
+        # last full chunk are never huge.
+        self.n_chunks = n_pages // PAGES_PER_HUGE
+        self.chunk_huge = np.zeros(self.n_chunks, dtype=bool)
+        self.chunk_promoted_at = np.full(self.n_chunks, NEVER, dtype=np.int64)
+        # Per-epoch cache of per-chunk rate sums (invalidated on any
+        # rate change); the monitor reads it once per sampling tick.
+        self._chunk_rates = None
+
+    # ------------------------------------------------------------------
+    # Bounds helpers
+    # ------------------------------------------------------------------
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi <= self.n_pages):
+            raise AddressSpaceError(
+                f"page range [{lo}, {hi}) outside table of {self.n_pages} pages"
+            )
+
+    # ------------------------------------------------------------------
+    # Concrete touches (channel 1: faults, RSS, recency)
+    # ------------------------------------------------------------------
+    def touch_range(
+        self,
+        lo: int,
+        hi: int,
+        now: int,
+        *,
+        fraction: float = 1.0,
+        touches: float = 1.0,
+        stride: int = 1,
+        write_fraction: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Touch a subset of pages in ``[lo, hi)`` at virtual time ``now``.
+
+        ``fraction`` of the pages (a seeded random subset when < 1) are
+        touched ``touches`` times each; a ``stride`` > 1 instead touches
+        every ``stride``-th page — the *same* pages every epoch, which is
+        how sparse-but-stable residency (the THP bloat scenario) is
+        expressed.  Returns a dict with the indices of major faults
+        (swap-ins), minor faults (first-touch allocations) and the full
+        touched index array — the kernel turns these into latency costs
+        and frame (de)allocations.
+        """
+        self._check_range(lo, hi)
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"fraction must be in [0, 1]: {fraction}")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ConfigError(f"write_fraction must be in [0, 1]: {write_fraction}")
+        if stride < 1:
+            raise ConfigError(f"stride must be at least 1: {stride}")
+        if fraction == 0.0 or lo == hi:
+            empty = np.empty(0, dtype=np.int64)
+            return {"touched": empty, "major": empty, "minor": empty}
+        if stride > 1:
+            touched = np.arange(lo, hi, stride, dtype=np.int64)
+        elif fraction >= 1.0:
+            touched = np.arange(lo, hi, dtype=np.int64)
+        else:
+            if rng is None:
+                raise ConfigError("fractional touch requires an RNG")
+            mask = rng.random(hi - lo) < fraction
+            touched = np.nonzero(mask)[0].astype(np.int64) + lo
+
+        swapped = self.swapped[touched]
+        present = self.present[touched]
+        major = touched[swapped]
+        minor = touched[~present & ~swapped]
+
+        self.present[touched] = True
+        self.swapped[touched] = False
+        self.bloat[touched] = False
+        self.last_touch[touched] = now
+        self.touch_count[touched] += max(1, int(round(touches)))
+        if write_fraction >= 1.0:
+            self.dirty[touched] = True
+        elif write_fraction > 0.0:
+            if rng is None:
+                raise ConfigError("fractional writes require an RNG")
+            writers = touched[rng.random(touched.size) < write_fraction]
+            self.dirty[writers] = True
+        return {"touched": touched, "major": major, "minor": minor}
+
+    # ------------------------------------------------------------------
+    # Accessed-bit channel (channel 2: monitoring)
+    # ------------------------------------------------------------------
+    def set_rate(self, lo: int, hi: int, rate_per_sec: float) -> None:
+        """Declare the touch rate of ``[lo, hi)`` for the current epoch."""
+        self._check_range(lo, hi)
+        if rate_per_sec < 0:
+            raise ConfigError(f"rate must be non-negative: {rate_per_sec}")
+        self.rate[lo:hi] = rate_per_sec
+        self._chunk_rates = None
+
+    def add_rate(self, lo: int, hi: int, rate_per_sec: float, stride: int = 1) -> None:
+        """Accumulate touch rate over ``[lo, hi)`` — bursts may overlap."""
+        self._check_range(lo, hi)
+        if rate_per_sec < 0:
+            raise ConfigError(f"rate must be non-negative: {rate_per_sec}")
+        if stride < 1:
+            raise ConfigError(f"stride must be at least 1: {stride}")
+        self.rate[lo:hi:stride] += rate_per_sec
+        self._chunk_rates = None
+
+    def add_write_rate(self, lo: int, hi: int, rate_per_sec: float, stride: int = 1) -> None:
+        """Accumulate write rate over ``[lo, hi)`` (dirty-bit channel)."""
+        self._check_range(lo, hi)
+        if rate_per_sec < 0:
+            raise ConfigError(f"rate must be non-negative: {rate_per_sec}")
+        if stride < 1:
+            raise ConfigError(f"stride must be at least 1: {stride}")
+        self.write_rate[lo:hi:stride] += rate_per_sec
+
+    def clear_rates(self) -> None:
+        """Reset all touch rates at an epoch boundary."""
+        self.rate.fill(0.0)
+        self.write_rate.fill(0.0)
+        self._chunk_rates = None
+
+    def access_probability(self, idx: np.ndarray, window_us: float) -> np.ndarray:
+        """P(accessed bit set) for pages ``idx`` over a ``window_us`` window.
+
+        For pages inside a huge-mapped chunk the accessed bit lives in the
+        PMD entry, so a touch *anywhere in the chunk* sets it; the
+        effective rate is the chunk's total rate.  This mirrors hardware:
+        huge mappings coarsen what the monitor can see.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        rates = self.rate[idx].astype(np.float64)
+        if self.n_chunks and self.chunk_huge.any():
+            chunk_ids = np.minimum(idx >> 9, self.n_chunks - 1)
+            in_huge = self.chunk_huge[chunk_ids] & ((idx >> 9) < self.n_chunks)
+            if in_huge.any():
+                chunk_rates = self.chunk_total_rates()
+                rates = np.where(in_huge, chunk_rates[chunk_ids], rates)
+        return 1.0 - np.exp(-rates * (window_us / 1e6))
+
+    def write_probability(self, idx: np.ndarray, window_us: float) -> np.ndarray:
+        """P(dirty bit observed set) for pages ``idx``.
+
+        Unlike the accessed bit (which the monitor clears each check),
+        the dirty bit *persists* until writeback cleans it — clearing it
+        would corrupt writeback bookkeeping.  A page already dirty reads
+        as written with certainty; an as-yet-clean page may be caught by
+        a write landing within the check window.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        rates = self.write_rate[idx].astype(np.float64)
+        fresh = 1.0 - np.exp(-rates * (window_us / 1e6))
+        return np.where(self.dirty[idx], 1.0, fresh)
+
+    def chunk_total_rates(self) -> np.ndarray:
+        """Sum of page touch rates per (full) 2 MiB chunk (cached until
+        the next rate change)."""
+        if self._chunk_rates is None:
+            covered = self.n_chunks * PAGES_PER_HUGE
+            self._chunk_rates = self.rate[:covered].reshape(
+                self.n_chunks, PAGES_PER_HUGE
+            ).sum(axis=1, dtype=np.float64)
+        return self._chunk_rates
+
+    def huge_mask(self, idx: np.ndarray) -> np.ndarray:
+        """Which of pages ``idx`` sit inside a huge-mapped chunk."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self.n_chunks == 0 or not self.chunk_huge.any():
+            return np.zeros(idx.shape, dtype=bool)
+        chunk_ids = idx >> 9
+        safe = np.minimum(chunk_ids, self.n_chunks - 1)
+        return self.chunk_huge[safe] & (chunk_ids < self.n_chunks)
+
+    # ------------------------------------------------------------------
+    # State transitions used by scheme actions and reclaim
+    # ------------------------------------------------------------------
+    def pageout_range(self, lo: int, hi: int):
+        """Unmap present pages in ``[lo, hi)`` to swap; returns
+        ``(indices, n_dirty)`` where ``n_dirty`` prices the writeback.
+
+        Pages inside huge-mapped chunks are skipped: the kernel must split
+        (demote) a huge mapping before it can reclaim its subpages, and
+        DAMOS's PAGEOUT does not do that implicitly.
+        """
+        self._check_range(lo, hi)
+        candidates = self.present[lo:hi].copy()
+        if self.chunk_huge.any():
+            candidates &= ~self.huge_mask(np.arange(lo, hi, dtype=np.int64))
+        idx = np.nonzero(candidates)[0].astype(np.int64) + lo
+        n_dirty = int(np.count_nonzero(self.dirty[idx]))
+        self.present[idx] = False
+        self.swapped[idx] = True
+        self.lru_gen[idx] = 0
+        # Writeback cleans the pages; clean pages whose content already
+        # sits in swap cost nothing to store again.
+        self.dirty[idx] = False
+        return idx, n_dirty
+
+    def swap_in_range(self, lo: int, hi: int) -> np.ndarray:
+        """Fault swapped pages of ``[lo, hi)`` back in; returns their indices."""
+        self._check_range(lo, hi)
+        idx = np.nonzero(self.swapped[lo:hi])[0].astype(np.int64) + lo
+        self.swapped[idx] = False
+        self.present[idx] = True
+        return idx
+
+    def promote_chunks(self, chunks: np.ndarray, now: int):
+        """Map the given (full) chunks with huge pages.
+
+        All 512 pages of each chunk become resident — this is exactly
+        THP's memory bloat.  Already-huge chunks are skipped.  Returns
+        ``(promoted_chunks, new_page_idx, n_swapped)``: the chunks
+        actually promoted, the pages that became newly present (the
+        caller allocates frames for them), and how many of those were
+        swapped out (the caller settles the swap device's accounting).
+        """
+        chunks = np.asarray(chunks, dtype=np.int64)
+        if chunks.size and (int(chunks.max()) >= self.n_chunks or int(chunks.min()) < 0):
+            raise AddressSpaceError(f"chunk index outside [0, {self.n_chunks})")
+        chunks = chunks[~self.chunk_huge[chunks]]
+        if chunks.size == 0:
+            return chunks, np.empty(0, dtype=np.int64), 0
+        pages = (chunks[:, None] * PAGES_PER_HUGE + np.arange(PAGES_PER_HUGE)).ravel()
+        new_idx = pages[~self.present[pages]]
+        n_swapped = int(np.count_nonzero(self.swapped[pages]))
+        self.present[pages] = True
+        self.swapped[pages] = False
+        # Pages that ever held data (touched at least once, including
+        # swapped ones) are not bloat; truly fresh subpages are.
+        self.bloat[new_idx] = True
+        self.bloat[new_idx[self.last_touch[new_idx] > NEVER]] = False
+        self.chunk_huge[chunks] = True
+        self.chunk_promoted_at[chunks] = now
+        return chunks, new_idx, n_swapped
+
+    def promote_chunk(self, chunk: int, now: int) -> int:
+        """Single-chunk convenience wrapper; returns pages newly present."""
+        _, new_idx, _ = self.promote_chunks(np.array([chunk]), now)
+        return int(new_idx.size)
+
+    def demote_chunks(self, chunks: np.ndarray, now: int):
+        """Split huge mappings back into 4 KiB pages.
+
+        Subpages never touched since the promotion carry no data the
+        application ever used, so the split returns them to the allocator
+        (the Ingens-style bloat recovery the paper's ``ethp`` relies on).
+        Returns ``(demoted_chunks, freed_page_idx)``.
+        """
+        chunks = np.asarray(chunks, dtype=np.int64)
+        if chunks.size and (int(chunks.max()) >= self.n_chunks or int(chunks.min()) < 0):
+            raise AddressSpaceError(f"chunk index outside [0, {self.n_chunks})")
+        chunks = chunks[self.chunk_huge[chunks]]
+        if chunks.size == 0:
+            return chunks, np.empty(0, dtype=np.int64)
+        pages = (chunks[:, None] * PAGES_PER_HUGE + np.arange(PAGES_PER_HUGE)).ravel()
+        freed_idx = pages[self.bloat[pages] & self.present[pages]]
+        self.present[freed_idx] = False
+        self.bloat[freed_idx] = False
+        self.chunk_huge[chunks] = False
+        return chunks, freed_idx
+
+    def demote_chunk(self, chunk: int, now: int) -> int:
+        """Single-chunk convenience wrapper; returns pages freed."""
+        _, freed = self.demote_chunks(np.array([chunk]), now)
+        return int(freed.size)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def resident_pages(self) -> int:
+        """Number of DRAM-resident pages (RSS contribution)."""
+        return int(np.count_nonzero(self.present))
+
+    def swapped_pages(self) -> int:
+        """Number of pages currently on the swap device."""
+        return int(np.count_nonzero(self.swapped))
+
+    def huge_chunks(self) -> int:
+        """Number of huge-mapped 2 MiB chunks."""
+        return int(np.count_nonzero(self.chunk_huge))
+
+
+class VMA:
+    """One mapped region ``[start, end)`` with its page table."""
+
+    __slots__ = ("start", "end", "name", "pages")
+
+    def __init__(self, start: int, end: int, name: str = ""):
+        if start % PAGE_SIZE or end % PAGE_SIZE:
+            raise ConfigError(
+                f"VMA bounds must be page-aligned: [{start:#x}, {end:#x})"
+            )
+        if end <= start:
+            raise ConfigError(f"empty VMA: [{start:#x}, {end:#x})")
+        self.start = int(start)
+        self.end = int(end)
+        self.name = name
+        self.pages = PageTable((end - start) // PAGE_SIZE)
+
+    def __repr__(self):
+        return f"VMA({self.start:#x}, {self.end:#x}, {self.name!r})"
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def page_index(self, addr: int) -> int:
+        """Page index of ``addr`` within this VMA."""
+        if not self.start <= addr < self.end:
+            raise AddressSpaceError(f"{addr:#x} outside {self!r}")
+        return (addr - self.start) // PAGE_SIZE
+
+
+class AddressSpace:
+    """An ordered, non-overlapping collection of VMAs.
+
+    Mutation (``mmap``/``munmap``) invalidates the cached lookup arrays,
+    which are rebuilt lazily; the monitor's vectorized resolution path
+    only ever reads them.
+    """
+
+    def __init__(self, name: str = "proc"):
+        self.name = name
+        self.vmas: List[VMA] = []
+        self._starts: Optional[np.ndarray] = None
+        self._ends: Optional[np.ndarray] = None
+        #: bumped on every layout change; the monitor's regions-update
+        #: tick compares it to decide whether to re-derive target regions.
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # Layout mutation
+    # ------------------------------------------------------------------
+    def mmap(self, start: int, size: int, name: str = "") -> VMA:
+        """Map ``[start, start + size)``; must not overlap existing VMAs."""
+        end = start + size
+        for vma in self.vmas:
+            if start < vma.end and end > vma.start:
+                raise AddressSpaceError(
+                    f"mapping [{start:#x}, {end:#x}) overlaps {vma!r}"
+                )
+        vma = VMA(start, end, name)
+        self.vmas.append(vma)
+        self.vmas.sort(key=lambda v: v.start)
+        self._starts = self._ends = None
+        self.generation += 1
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Remove a VMA from the space."""
+        try:
+            self.vmas.remove(vma)
+        except ValueError:
+            raise AddressSpaceError(f"{vma!r} not in {self.name}") from None
+        self._starts = self._ends = None
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _lookup_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._starts is None:
+            self._starts = np.array([v.start for v in self.vmas], dtype=np.int64)
+            self._ends = np.array([v.end for v in self.vmas], dtype=np.int64)
+        return self._starts, self._ends
+
+    def find(self, addr: int) -> Optional[VMA]:
+        """The VMA containing ``addr``, or ``None`` for a gap."""
+        starts, ends = self._lookup_arrays()
+        if starts.size == 0:
+            return None
+        i = int(np.searchsorted(starts, addr, side="right")) - 1
+        if i >= 0 and addr < ends[i]:
+            return self.vmas[i]
+        return None
+
+    def resolve(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized address resolution.
+
+        Returns ``(vma_idx, page_idx, mapped)`` arrays: the VMA index and
+        page index for each address, and a boolean mask of which
+        addresses fall inside a mapping.  Unmapped entries carry
+        ``vma_idx == -1``.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        starts, ends = self._lookup_arrays()
+        if starts.size == 0:
+            neg = np.full(addrs.shape, -1, dtype=np.int64)
+            return neg, neg.copy(), np.zeros(addrs.shape, dtype=bool)
+        vma_idx = np.searchsorted(starts, addrs, side="right") - 1
+        in_range = vma_idx >= 0
+        safe = np.where(in_range, vma_idx, 0)
+        mapped = in_range & (addrs < ends[safe])
+        page_idx = (addrs - starts[safe]) >> 12
+        vma_idx = np.where(mapped, vma_idx, -1)
+        page_idx = np.where(mapped, page_idx, -1)
+        return vma_idx, page_idx, mapped
+
+    # ------------------------------------------------------------------
+    # Range iteration (bulk operations split per VMA)
+    # ------------------------------------------------------------------
+    def ranges_in(self, start: int, end: int) -> Iterable[Tuple[VMA, int, int]]:
+        """Yield ``(vma, page_lo, page_hi)`` for each VMA overlapping
+        ``[start, end)``, with page indices local to the VMA."""
+        if end <= start:
+            return
+        for vma in self.vmas:
+            if vma.end <= start or vma.start >= end:
+                continue
+            lo_addr = max(start, vma.start)
+            hi_addr = min(end, vma.end)
+            lo = (lo_addr - vma.start) // PAGE_SIZE
+            hi = -(-(hi_addr - vma.start) // PAGE_SIZE)
+            yield vma, lo, hi
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def mapped_bytes(self) -> int:
+        """Total bytes covered by the VMAs."""
+        return sum(v.size for v in self.vmas)
+
+    def resident_bytes(self) -> int:
+        """DRAM-resident bytes across all VMAs (the RSS)."""
+        return sum(v.pages.resident_pages() for v in self.vmas) * PAGE_SIZE
+
+    def swapped_bytes(self) -> int:
+        """Bytes currently held on the swap device."""
+        return sum(v.pages.swapped_pages() for v in self.vmas) * PAGE_SIZE
+
+    def span(self) -> Tuple[int, int]:
+        """Lowest and highest mapped address."""
+        if not self.vmas:
+            raise AddressSpaceError(f"{self.name} has no mappings")
+        return self.vmas[0].start, self.vmas[-1].end
+
+    def three_regions(self) -> List[Tuple[int, int]]:
+        """Upstream DAMON's initial-regions heuristic for virtual targets.
+
+        A process address space typically has two huge unmapped gaps
+        (between heap and mmap area, and between mmap area and stack).
+        Monitoring across them wastes regions, so the target is split
+        into the three spans separated by the two biggest gaps.
+        """
+        if not self.vmas:
+            raise AddressSpaceError(f"{self.name} has no mappings")
+        gaps: List[Tuple[int, int, int]] = []  # (size, gap_start, gap_end)
+        for prev, cur in zip(self.vmas, self.vmas[1:]):
+            if cur.start > prev.end:
+                gaps.append((cur.start - prev.end, prev.end, cur.start))
+        gaps.sort(reverse=True)
+        big = sorted(g[1:] for g in gaps[:2])
+        lo, hi = self.span()
+        regions: List[Tuple[int, int]] = []
+        cursor = lo
+        for gap_start, gap_end in big:
+            regions.append((cursor, gap_start))
+            cursor = gap_end
+        regions.append((cursor, hi))
+        return [r for r in regions if r[1] > r[0]]
+
+    # ------------------------------------------------------------------
+    # Epoch maintenance
+    # ------------------------------------------------------------------
+    def clear_rates(self) -> None:
+        """Reset every VMA's touch rates at an epoch boundary."""
+        for vma in self.vmas:
+            vma.pages.clear_rates()
+
+
+class LruReclaimer:
+    """Global LRU eviction across one address space."""
+
+    def __init__(self, space: AddressSpace, *, activation_window_us: int = 10 * SEC):
+        if activation_window_us <= 0:
+            raise ConfigError("activation window must be positive")
+        self.space = space
+        self.activation_window_us = activation_window_us
+        self.total_evicted = 0
+
+    # ------------------------------------------------------------------
+    def list_sizes(self, now: int) -> Tuple[int, int]:
+        """(active, inactive) page counts at virtual time ``now``."""
+        active = 0
+        inactive = 0
+        cutoff = now - self.activation_window_us
+        for vma in self.space.vmas:
+            pt = vma.pages
+            recent = pt.last_touch >= cutoff
+            active += int(np.count_nonzero(pt.present & recent))
+            inactive += int(np.count_nonzero(pt.present & ~recent))
+        return active, inactive
+
+    def select_victims(
+        self, n_pages: int, rng: Optional[np.random.Generator] = None
+    ) -> List[Tuple[object, np.ndarray]]:
+        """Pick ~``n_pages`` least-recently-touched present pages.
+
+        The ordering is *approximate*, as in the real two-list LRU: the
+        kernel only learns recency from periodic accessed-bit scans, so
+        eviction order within a scan interval is arbitrary.  We model
+        this by quantising timestamps to :data:`LRU_SCAN_INTERVAL_US`
+        buckets with a seeded random tie-break.  (This imprecision is
+        exactly what the LRU_PRIO / LRU_DEPRIO scheme actions improve
+        on: the monitor knows recency at aggregation granularity.)
+
+        Returns ``[(vma, page_indices), ...]``; the caller performs the
+        actual state transition so swap latency and accounting live in
+        one place (the kernel façade).
+        """
+        if n_pages <= 0:
+            return []
+        # Gather (last_touch, vma_ordinal, page_idx) for present,
+        # non-huge-mapped pages, then take the n smallest timestamps.
+        per_vma = []
+        for ordinal, vma in enumerate(self.space.vmas):
+            pt = vma.pages
+            # A page mid-fault (present but no frame assigned yet) is
+            # locked by its faulting thread and cannot be reclaimed.
+            evictable = pt.present & (pt.frame >= 0)
+            if pt.chunk_huge.any():
+                evictable &= ~pt.huge_mask(np.arange(pt.n_pages, dtype=np.int64))
+            idx = np.nonzero(evictable)[0]
+            if idx.size:
+                per_vma.append((ordinal, idx, pt.last_touch[idx], pt.lru_gen[idx]))
+        if not per_vma:
+            return []
+        ordinals = np.concatenate(
+            [np.full(idx.size, ordinal, dtype=np.int64) for ordinal, idx, *_ in per_vma]
+        )
+        pages = np.concatenate([idx for _, idx, _, _ in per_vma])
+        stamps = np.concatenate([ts for _, _, ts, _ in per_vma]).astype(np.float64)
+        gens = np.concatenate([g for _, _, _, g in per_vma]).astype(np.float64)
+        stamps = np.floor(stamps / LRU_SCAN_INTERVAL_US)
+        if rng is not None:
+            stamps = stamps + rng.random(stamps.size)
+        # LRU class dominates: deprioritised pages go first, prioritised
+        # pages last; within a class, oldest scan bucket first.
+        stamps = stamps + gens * 1e12
+        take = min(n_pages, stamps.size)
+        order = np.argpartition(stamps, take - 1)[:take]
+        victims: List[Tuple[object, np.ndarray]] = []
+        for ordinal in np.unique(ordinals[order]):
+            sel = order[ordinals[order] == ordinal]
+            victims.append((self.space.vmas[int(ordinal)], pages[sel]))
+        self.total_evicted += take
+        return victims
+
+
+class Khugepaged:
+    """Periodic collapse scanner over one address space.
+
+    ``scan(now)`` promotes every eligible chunk and returns the number of
+    promotions plus the number of pages that became newly resident (the
+    bloat increment), so the kernel façade can charge allocation latency
+    and track footprint.
+    """
+
+    def __init__(self, space: AddressSpace, policy: ThpPolicy):
+        self.space = space
+        self.policy = policy
+        self.total_promotions = 0
+        self.total_bloat_pages = 0
+
+    def scan(self, now: int):
+        """One khugepaged pass.  No-op unless policy mode is ``always``."""
+        if self.policy.mode != "always":
+            return {"promotions": 0, "bloat_pages": 0}
+        promotions = 0
+        bloat_pages = 0
+        threshold = self.policy.min_present_pages
+        for vma in self.space.vmas:
+            pt = vma.pages
+            full_chunks = pt.n_pages // PAGES_PER_HUGE
+            if full_chunks == 0:
+                continue
+            present = pt.present[: full_chunks * PAGES_PER_HUGE]
+            per_chunk = present.reshape(full_chunks, PAGES_PER_HUGE).sum(axis=1)
+            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge[:full_chunks])[0]
+            for chunk in eligible:
+                bloat_pages += pt.promote_chunk(int(chunk), now)
+                promotions += 1
+        self.total_promotions += promotions
+        self.total_bloat_pages += bloat_pages
+        return {"promotions": promotions, "bloat_pages": bloat_pages}
+
+
+#: Reclaim starts above this fraction of physical frames...
+_HIGH_WATERMARK = 0.96
+#: ...and stops once usage falls below this fraction.
+_LOW_WATERMARK = 0.92
+
+#: Fraction of swap-write latency charged to the workload: page-out I/O
+#: is mostly asynchronous writeback, but dirties shared queues.
+_ASYNC_WRITE_SHARE = 0.3
+
+
+class SimKernel:
+    """One guest VM's memory subsystem."""
+
+    def __init__(
+        self,
+        guest,
+        *,
+        swap: Optional[SwapDevice] = None,
+        costs: Optional[CostModel] = None,
+        thp: Optional[ThpPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+        trace: Optional[TraceBus] = None,
+        faults=None,
+        oom_policy: str = "raise",
+    ):
+        if oom_policy not in ("raise", "shed"):
+            raise ConfigError(
+                f"oom_policy must be 'raise' or 'shed': {oom_policy!r}"
+            )
+        if isinstance(guest, MachineSpec):
+            guest = guest_of(guest)
+        if not isinstance(guest, GuestSpec):
+            raise ConfigError(f"expected GuestSpec or MachineSpec, got {guest!r}")
+        self.guest = guest
+        self.space = AddressSpace(name="workload")
+        self.frames = FrameTable(guest.dram_bytes)
+        self.swap = swap if swap is not None else ZramDevice()
+        self.costs = costs if costs is not None else CostModel()
+        self.thp_policy = thp if thp is not None else ThpPolicy(mode="never")
+        # Standalone scanner view of khugepaged (statistics/tests); the
+        # kernel's own khugepaged_scan() additionally handles frame
+        # allocation for the bloat pages.
+        self.khugepaged = Khugepaged(self.space, self.thp_policy)
+        self.lru = LruReclaimer(self.space)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.metrics = KernelMetrics()
+        #: Optional trace bus; every management path emits through it.
+        self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector` shared with the run.
+        self.faults = faults
+        #: ``"raise"`` aborts with :class:`SwapFullError` when an
+        #: allocation cannot be backed; ``"shed"`` grants what fits,
+        #: reverts the rest of the batch, and enters degraded mode.
+        self.oom_policy = oom_policy
+        self._vma_ids = {}  # VMA -> ordinal used in the frame table's rmap
+        # Ordinals are monotonic, never reused: a dict-length ordinal
+        # would collide with a live VMA's rmap tags after any munmap.
+        self._next_vma_ordinal = 0
+        self._oom_reclaim_failed = False
+        self._degraded_reason = ""
+        self._degraded_since_us = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def mmap(self, start: int, size: int, name: str = "") -> VMA:
+        """Map ``[start, start + size)`` and register it with the rmap."""
+        vma = self.space.mmap(start, size, name)
+        self._vma_ids[vma] = self._next_vma_ordinal
+        self._next_vma_ordinal += 1
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Tear a mapping down: frames freed, swap slots discarded."""
+        pt = vma.pages
+        resident = np.nonzero(pt.present)[0]
+        frames = pt.frame[resident]
+        frames = frames[frames >= 0]
+        if frames.size:
+            self.frames.release(frames)
+        swapped = pt.swapped_pages()
+        if swapped:
+            self.swap.discard(swapped)
+        self.space.munmap(vma)
+        del self._vma_ids[vma]
+
+    def _vma_id(self, vma: VMA) -> int:
+        return self._vma_ids[vma]
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle (driven by the workload runner)
+    # ------------------------------------------------------------------
+    def begin_epoch(self) -> None:
+        """Reset per-epoch touch rates before the workload declares new ones."""
+        self.space.clear_rates()
+
+    def apply_access(
+        self,
+        start: int,
+        end: int,
+        now: int,
+        epoch_us: int,
+        *,
+        fraction: float = 1.0,
+        touches_per_page: float = 1.0,
+        stride: int = 1,
+        stall_weight: float = 1.0,
+        tlb_scale: float = 1.0,
+        write_fraction: float = 0.0,
+    ) -> None:
+        """Apply one access burst: ``fraction`` of pages in
+        ``[start, end)`` touched ``touches_per_page`` times over the
+        epoch.  Handles faults, frame allocation, rate declaration and
+        latency accounting.
+
+        ``touches_per_page`` feeds the accessed-bit rate model (what the
+        monitor can see); the memory-stall *cost* is charged once per
+        touched page per epoch, scaled by ``stall_weight`` — the
+        workload's memory-boundedness knob.
+        """
+        if epoch_us <= 0:
+            raise ConfigError(f"epoch must be positive: {epoch_us}")
+        # Per-page rate for the accessed-bit model: strided bursts touch
+        # their stride set at full rate (the rate applies to those pages
+        # only), fractional bursts dilute the rate across the range.
+        if stride > 1:
+            rate = touches_per_page / (epoch_us / 1e6)
+        else:
+            rate = fraction * touches_per_page / (epoch_us / 1e6)
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            result = pt.touch_range(
+                lo,
+                hi,
+                now,
+                fraction=fraction,
+                touches=touches_per_page,
+                stride=stride,
+                write_fraction=write_fraction,
+                rng=self.rng,
+            )
+            touched = result["touched"]
+            if touched.size == 0:
+                pt.add_rate(lo, hi, rate, stride)
+                if write_fraction > 0.0:
+                    pt.add_write_rate(lo, hi, rate * write_fraction, stride)
+                continue
+
+            major = result["major"]
+            minor = result["minor"]
+            need_frames = major.size + minor.size
+            shed_pages = 0
+            if need_frames:
+                if self.oom_policy == "shed":
+                    granted = min(
+                        need_frames, self._free_after_reclaim(need_frames, now)
+                    )
+                else:
+                    self._ensure_frames(need_frames, now)
+                    granted = need_frames
+                if granted < need_frames:
+                    shed_pages = need_frames - granted
+                    major, minor = self._shed_batch(pt, major, minor, granted)
+                    self.metrics.shed_pages += shed_pages
+                    self._enter_degraded("oom", now)
+                alloc_for = np.concatenate((major, minor)) if major.size and minor.size else (
+                    major if major.size else minor
+                )
+                if alloc_for.size:
+                    new_frames = self.frames.allocate(
+                        alloc_for.size, self._vma_id(vma), alloc_for
+                    )
+                    pt.frame[alloc_for] = new_frames
+            if major.size:
+                latency = self.swap.load(major.size)
+                latency += self.costs.major_fault_overhead_us(major.size)
+                self.metrics.runtime.major_fault_us += latency
+                self.metrics.major_faults += major.size
+                self.metrics.pages_swapped_in += major.size
+            if minor.size:
+                self.metrics.runtime.minor_fault_us += self.costs.minor_fault_cost_us(
+                    minor.size
+                )
+                self.metrics.minor_faults += minor.size
+
+            # Memory-stall cost: touches hitting huge-mapped chunks are
+            # cheaper (TLB walks skipped).  Shed pages were never really
+            # touched, so they carry no stall cost.
+            effective_touches = touched.size - shed_pages
+            if effective_touches > 0:
+                total_touches = effective_touches * stall_weight
+                if pt.chunk_huge.any():
+                    huge_hits = pt.huge_mask(touched)
+                    huge_fraction = float(np.count_nonzero(huge_hits)) / touched.size
+                else:
+                    huge_fraction = 0.0
+                self.metrics.runtime.memory_stall_us += self.costs.touch_cost_us(
+                    total_touches, huge_fraction, tlb_scale
+                )
+            pt.add_rate(lo, hi, rate, stride)
+            if write_fraction > 0.0:
+                pt.add_write_rate(lo, hi, rate * write_fraction, stride)
+
+    def end_epoch(self, now: int, compute_us: float) -> None:
+        """Close the epoch: charge nominal compute (already scaled by the
+        caller for CPU speed), run pressure reclaim, sample memory."""
+        self.metrics.runtime.compute_us += compute_us
+        if self.faults is not None:
+            # A stuck/late epoch charges extra stall time; the injector
+            # traces the firing.
+            self.metrics.runtime.compute_us += float(self.faults.epoch_delay_us(now))
+        self._pressure_reclaim(now)
+        self.sample_memory(now)
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(EpochEnd):
+                # Costs are charged at the epoch's end while the event is
+                # stamped at emission time, so ``now`` rides as payload.
+                tr.emit(
+                    EpochEnd(
+                        time_us=tr.now,
+                        epoch_end_us=now,
+                        compute_us=compute_us,
+                        rss_bytes=self.rss_bytes(),
+                        free_frames=self.frames.free_frames(),
+                        major_faults=self.metrics.major_faults,
+                        minor_faults=self.metrics.minor_faults,
+                    )
+                )
+            else:
+                tr.count(EpochEnd)
+
+    def sample_memory(self, now: int) -> None:
+        """Record an RSS/system-memory sample on the metrics timeline."""
+        self.metrics.memory.record(now, self.rss_bytes(), self.system_bytes())
+
+    # ------------------------------------------------------------------
+    # Pressure reclaim (the baseline's two-list LRU path)
+    # ------------------------------------------------------------------
+    def _swap_free_pages(self, now: int) -> int:
+        """Swap slots available at ``now`` — zero while an injected
+        ``swap_full`` window is active."""
+        if self.faults is not None and self.faults.swap_is_full(now):
+            return 0
+        return self.swap.free_pages()
+
+    def _free_after_reclaim(self, needed: int, now: int) -> int:
+        """Free frames after (at most) one alloc-triggered reclaim pass."""
+        free = self.frames.free_frames()
+        if free >= needed:
+            return free
+        self._reclaim(needed - free, "alloc", now)
+        return self.frames.free_frames()
+
+    def _ensure_frames(self, needed: int, now: int) -> None:
+        if self._free_after_reclaim(needed, now) < needed:
+            raise SwapFullError(
+                "OOM: reclaim could not free enough frames "
+                f"(need {needed}, free {self.frames.free_frames()})"
+            )
+
+    @staticmethod
+    def _shed_batch(pt, major: np.ndarray, minor: np.ndarray, granted: int):
+        """Trim an allocation batch to ``granted`` frames.
+
+        Major faults keep priority (the workload is blocked on data that
+        already exists in swap); the overflow is reverted to its
+        pre-touch page state so the shed pages fault again next epoch.
+        """
+        keep_major = min(major.size, granted)
+        keep_minor = granted - keep_major
+        drop_major = major[keep_major:]
+        drop_minor = minor[keep_minor:]
+        if drop_major.size:
+            pt.present[drop_major] = False
+            pt.swapped[drop_major] = True
+            pt.dirty[drop_major] = False
+            pt.frame[drop_major] = -1
+        if drop_minor.size:
+            pt.present[drop_minor] = False
+            pt.dirty[drop_minor] = False
+            pt.frame[drop_minor] = -1
+        return major[:keep_major], minor[:keep_minor]
+
+    def _enter_degraded(self, reason: str, now: int) -> None:
+        if self._degraded_reason:
+            return
+        self._degraded_reason = reason
+        self._degraded_since_us = int(now)
+        tr = self.trace
+        if tr is not None:
+            tr.emit(
+                DegradedModeEntered(time_us=tr.now, subsystem="kernel", reason=reason)
+            )
+
+    def _maybe_recover(self, now: int) -> None:
+        """Leave degraded mode once swap can accept evictions again
+        (checked once per epoch, so event volume stays bounded)."""
+        if not self._degraded_reason and not self._oom_reclaim_failed:
+            return
+        if self._swap_free_pages(now) <= 0:
+            return
+        self._oom_reclaim_failed = False
+        reason = self._degraded_reason
+        if reason:
+            self._degraded_reason = ""
+            tr = self.trace
+            if tr is not None:
+                tr.emit(
+                    DegradedModeExited(
+                        time_us=tr.now,
+                        subsystem="kernel",
+                        reason=reason,
+                        degraded_us=max(0, int(now) - self._degraded_since_us),
+                    )
+                )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the kernel is currently shedding load."""
+        return bool(self._degraded_reason)
+
+    def _pressure_reclaim(self, now: int) -> None:
+        if self.oom_policy == "shed":
+            self._maybe_recover(now)
+        allocated = self.frames.allocated
+        if self.faults is not None:
+            # A transient pressure spike counts phantom frames as
+            # allocated, forcing reclaim passes the workload alone would
+            # not have triggered.
+            allocated += self.faults.pressure_spike_frames(now)
+        high = int(self.frames.n_frames * _HIGH_WATERMARK)
+        if allocated <= high or self._oom_reclaim_failed:
+            return
+        low = int(self.frames.n_frames * _LOW_WATERMARK)
+        self._reclaim(allocated - low, "pressure", now)
+
+    def _reclaim(self, n_pages: int, trigger: str, now: int) -> None:
+        """Evict up to ``n_pages`` LRU-cold pages to swap.  ``trigger``
+        records why the pass ran (``"alloc"`` or ``"pressure"``)."""
+        budget = min(n_pages, self._swap_free_pages(now))
+        if budget <= 0:
+            self._oom_reclaim_failed = True
+            if self.oom_policy == "shed":
+                self._enter_degraded("swap-full", now)
+            return
+        victims = self.lru.select_victims(budget, rng=self.rng)
+        evicted = written_back = 0
+        for vma, idx in victims:
+            pt = vma.pages
+            frames = pt.frame[idx]
+            self.frames.release(frames[frames >= 0])
+            n_dirty = int(np.count_nonzero(pt.dirty[idx]))
+            pt.present[idx] = False
+            pt.swapped[idx] = True
+            pt.dirty[idx] = False
+            pt.frame[idx] = -1
+            latency = self.swap.store(idx.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += idx.size
+            self.metrics.pages_written_back += n_dirty
+            self.metrics.reclaim_evictions += idx.size
+            evicted += int(idx.size)
+            written_back += n_dirty
+        tr = self.trace
+        if tr is not None:
+            if tr.wants(ReclaimPass):
+                tr.emit(
+                    ReclaimPass(
+                        time_us=tr.now,
+                        requested_pages=int(n_pages),
+                        evicted_pages=evicted,
+                        written_back_pages=written_back,
+                        trigger=trigger,
+                    )
+                )
+            else:
+                tr.count(ReclaimPass)
+
+    # ------------------------------------------------------------------
+    # Management operations (scheme-action back-ends; Table 1)
+    # ------------------------------------------------------------------
+    def pageout(self, start: int, end: int, now: int) -> int:
+        """PAGEOUT: immediately reclaim the address range.  Returns pages
+        paged out (0 if swap is full — reclaim silently stops, as
+        madvise_pageout does)."""
+        total = total_dirty = attempted = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            was_dirty = pt.dirty[lo:hi].copy()
+            candidates, _ = pt.pageout_range(lo, hi)
+            if candidates.size == 0:
+                continue
+            attempted += int(candidates.size)
+            allowed = min(candidates.size, self._swap_free_pages(now))
+            if allowed < candidates.size:
+                # Roll the overflow back to present.
+                rollback = candidates[allowed:]
+                pt.present[rollback] = True
+                pt.swapped[rollback] = False
+                pt.dirty[rollback] = was_dirty[rollback - lo]
+                candidates = candidates[:allowed]
+            if candidates.size == 0:
+                continue
+            frames = pt.frame[candidates]
+            self.frames.release(frames[frames >= 0])
+            pt.frame[candidates] = -1
+            n_dirty = int(np.count_nonzero(was_dirty[candidates - lo]))
+            latency = self.swap.store(candidates.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += candidates.size
+            self.metrics.pages_written_back += n_dirty
+            total += candidates.size
+            total_dirty += n_dirty
+        tr = self.trace
+        # Emit whenever reclaimable candidates existed, even if a full
+        # swap device (the Figure 9 "No Swap" path) clamped the batch to
+        # zero pages — consumers see the attempt, not silence.
+        if tr is not None and attempted:
+            tr.emit(
+                PageoutBatch(
+                    time_us=tr.now,
+                    paged_out_pages=int(total),
+                    written_back_pages=total_dirty,
+                    phys=False,
+                )
+            )
+        return total
+
+    def madvise_willneed(self, start: int, end: int, now: int) -> int:
+        """WILLNEED: prefetch swapped pages back in (asynchronously, so
+        only a small share of the read latency reaches the workload)."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            idx = pt.swap_in_range(lo, hi)
+            if idx.size == 0:
+                continue
+            if self.oom_policy == "shed":
+                granted = min(idx.size, self._free_after_reclaim(idx.size, now))
+                if granted < idx.size:
+                    # Prefetch is advisory: leave the overflow swapped.
+                    rollback = idx[granted:]
+                    pt.present[rollback] = False
+                    pt.swapped[rollback] = True
+                    pt.frame[rollback] = -1
+                    self.metrics.shed_pages += idx.size - granted
+                    self._enter_degraded("oom", now)
+                    idx = idx[:granted]
+                if idx.size == 0:
+                    continue
+            else:
+                self._ensure_frames(idx.size, now)
+            new_frames = self.frames.allocate(idx.size, self._vma_id(vma), idx)
+            pt.frame[idx] = new_frames
+            latency = self.swap.load(idx.size)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_in += idx.size
+            total += idx.size
+        return total
+
+    # -- physical-address variants (rmap-based, like the paddr ops) ------
+    def _frames_in_range(self, start: int, end: int):
+        """Owned frames of the physical range, grouped by VMA:
+        ``[(vma, page_idx_array), ...]``."""
+        lo = max(0, start // PAGE_SIZE)
+        hi = min(self.frames.n_frames, -(-end // PAGE_SIZE))
+        if hi <= lo:
+            return []
+        frames = np.arange(lo, hi, dtype=np.int64)
+        owner_vma, owner_page = self.frames.owners(frames)
+        out = []
+        for vma, ordinal in self._vma_ids.items():
+            sel = owner_page[owner_vma == ordinal]
+            if sel.size:
+                out.append((vma, sel))
+        return out
+
+    def pageout_phys(self, start: int, end: int, now: int) -> int:
+        """PAGEOUT on a physical address range: resolve the frames
+        through the rmap and reclaim the mapping pages."""
+        total = total_dirty = attempted = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            candidates = idx[pt.present[idx]]
+            if pt.chunk_huge.any():
+                candidates = candidates[~pt.huge_mask(candidates)]
+            attempted += int(candidates.size)
+            allowed = min(candidates.size, self._swap_free_pages(now))
+            candidates = candidates[:allowed]
+            if candidates.size == 0:
+                continue
+            frames = pt.frame[candidates]
+            self.frames.release(frames[frames >= 0])
+            n_dirty = int(np.count_nonzero(pt.dirty[candidates]))
+            pt.present[candidates] = False
+            pt.swapped[candidates] = True
+            pt.bloat[candidates] = False
+            pt.dirty[candidates] = False
+            pt.frame[candidates] = -1
+            latency = self.swap.store(candidates.size, n_dirty)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_out += candidates.size
+            self.metrics.pages_written_back += n_dirty
+            total += int(candidates.size)
+            total_dirty += n_dirty
+        tr = self.trace
+        if tr is not None and attempted:
+            tr.emit(
+                PageoutBatch(
+                    time_us=tr.now,
+                    paged_out_pages=total,
+                    written_back_pages=total_dirty,
+                    phys=True,
+                )
+            )
+        return total
+
+    def lru_prioritize_phys(self, start: int, end: int, now: int) -> int:
+        """LRU_PRIO on a physical range (rmap-resolved)."""
+        total = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            present = idx[pt.present[idx]]
+            pt.lru_gen[present] = 1
+            total += int(present.size)
+        return total
+
+    def lru_deprioritize_phys(self, start: int, end: int, now: int) -> int:
+        """LRU_DEPRIO on a physical range (rmap-resolved)."""
+        total = 0
+        for vma, idx in self._frames_in_range(start, end):
+            pt = vma.pages
+            present = idx[pt.present[idx]]
+            pt.lru_gen[present] = -1
+            total += int(present.size)
+        return total
+
+    def lru_prioritize(self, start: int, end: int, now: int) -> int:
+        """LRU_PRIO: place the range's present pages in the protected
+        LRU class (active head) — the plain LRU, blind within its scan
+        buckets, would treat them like any other recent page."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.lru_gen[lo:hi][present] = 1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def lru_deprioritize(self, start: int, end: int, now: int) -> int:
+        """LRU_DEPRIO: place the range in the evict-first LRU class
+        (inactive tail)."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.lru_gen[lo:hi][present] = -1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def madvise_cold(self, start: int, end: int, now: int) -> int:
+        """COLD: deactivate the range — pages become first in line for
+        pressure reclaim by aging their recency to the epoch floor."""
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            present = pt.present[lo:hi]
+            pt.last_touch[lo:hi][present] = np.iinfo(np.int64).min // 2 + 1
+            total += int(np.count_nonzero(present))
+        return total
+
+    def _promote(self, vma, chunks: np.ndarray, now: int) -> int:
+        """Promote the given chunks of ``vma``: allocate frames for the
+        bloat pages, settle swap accounting, charge allocation latency."""
+        pt = vma.pages
+        if self.oom_policy == "shed" and chunks.size:
+            # promote_chunks mutates page state irreversibly, so under
+            # shed pre-check the worst case (every subpage materialised)
+            # and trim the chunk list to what frames can back.
+            worst = int(chunks.size) * PAGES_PER_HUGE
+            granted = self._free_after_reclaim(worst, now)
+            if granted < worst:
+                chunks = chunks[: granted // PAGES_PER_HUGE]
+                self._enter_degraded("oom", now)
+            if chunks.size == 0:
+                return 0
+        promoted, new_idx, n_swapped = pt.promote_chunks(chunks, now)
+        if promoted.size == 0:
+            return 0
+        if new_idx.size:
+            self._ensure_frames(new_idx.size, now)
+            frames = self.frames.allocate(new_idx.size, self._vma_id(vma), new_idx)
+            pt.frame[new_idx] = frames
+        if n_swapped:
+            latency = self.swap.load(n_swapped)
+            self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
+            self.metrics.pages_swapped_in += n_swapped
+        self.metrics.thp_bloat_pages += int(new_idx.size)
+        self.metrics.thp_promotions += int(promoted.size)
+        self.metrics.runtime.thp_alloc_us += self.costs.thp_alloc_cost_us(
+            int(promoted.size)
+        )
+        tr = self.trace
+        if tr is not None:
+            tr.emit(
+                ThpPromotion(
+                    time_us=tr.now,
+                    promoted_chunks=int(promoted.size),
+                    bloat_pages=int(new_idx.size),
+                    swapped_in_pages=int(n_swapped),
+                )
+            )
+        return int(promoted.size)
+
+    def madvise_hugepage(self, start: int, end: int, now: int) -> int:
+        """HUGEPAGE: promote every 2 MiB chunk fully inside the range that
+        has at least one present page.  Returns promotions performed."""
+        promotions = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            chunk_lo = -(-lo // PAGES_PER_HUGE)
+            chunk_hi = min(hi // PAGES_PER_HUGE, pt.n_chunks)
+            if chunk_hi <= chunk_lo:
+                continue
+            if pt.chunk_huge[chunk_lo:chunk_hi].all():
+                continue  # fast path: the whole span is already huge
+            candidates = np.arange(chunk_lo, chunk_hi, dtype=np.int64)
+            candidates = candidates[~pt.chunk_huge[chunk_lo:chunk_hi]]
+            if candidates.size == 0:
+                continue
+            pages = (
+                candidates[:, None] * PAGES_PER_HUGE + np.arange(PAGES_PER_HUGE)
+            ).ravel()
+            has_present = (
+                pt.present[pages].reshape(-1, PAGES_PER_HUGE).any(axis=1)
+            )
+            promotions += self._promote(vma, candidates[has_present], now)
+        return promotions
+
+    def madvise_nohugepage(self, start: int, end: int, now: int) -> int:
+        """NOHUGEPAGE: demote huge chunks in the range; subpages untouched
+        since promotion are freed (bloat recovery)."""
+        demotions = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            pt = vma.pages
+            chunk_lo = lo // PAGES_PER_HUGE
+            chunk_hi = min(-(-hi // PAGES_PER_HUGE), pt.n_chunks)
+            if chunk_hi <= chunk_lo:
+                continue
+            if not pt.chunk_huge[chunk_lo:chunk_hi].any():
+                continue  # fast path: nothing huge in the span
+            candidates = np.arange(chunk_lo, chunk_hi, dtype=np.int64)
+            demoted, freed_idx = pt.demote_chunks(candidates, now)
+            if freed_idx.size:
+                frames = pt.frame[freed_idx]
+                self.frames.release(frames[frames >= 0])
+                pt.frame[freed_idx] = -1
+                self.metrics.thp_freed_pages += int(freed_idx.size)
+            self.metrics.thp_demotions += int(demoted.size)
+            demotions += int(demoted.size)
+        return demotions
+
+    # ------------------------------------------------------------------
+    # khugepaged (thp=always path)
+    # ------------------------------------------------------------------
+    def khugepaged_scan(self, now: int):
+        """One khugepaged pass; charges huge-page allocation latency and
+        allocates frames for the bloat pages."""
+        if self.thp_policy.mode != "always":
+            return {"promotions": 0, "bloat_pages": 0}
+        result = {"promotions": 0, "bloat_pages": 0}
+        threshold = self.thp_policy.min_present_pages
+        for vma in self.space.vmas:
+            pt = vma.pages
+            if pt.n_chunks == 0:
+                continue
+            present = pt.present[: pt.n_chunks * PAGES_PER_HUGE]
+            per_chunk = present.reshape(pt.n_chunks, PAGES_PER_HUGE).sum(axis=1)
+            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge)[0]
+            if eligible.size == 0:
+                continue
+            bloat_before = self.metrics.thp_bloat_pages
+            result["promotions"] += self._promote(vma, eligible, now)
+            result["bloat_pages"] += self.metrics.thp_bloat_pages - bloat_before
+        return result
+
+    # ------------------------------------------------------------------
+    # Monitoring hooks
+    # ------------------------------------------------------------------
+    def access_probabilities(self, addrs: np.ndarray, window_us: float) -> np.ndarray:
+        """P(accessed bit set) per sample address over ``window_us``.
+
+        Unmapped addresses have no PTE and read as never accessed.
+        """
+        vma_idx, page_idx, mapped = self.space.resolve(addrs)
+        probs = np.zeros(len(addrs), dtype=np.float64)
+        for ordinal, vma in enumerate(self.space.vmas):
+            sel = np.nonzero(vma_idx == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.access_probability(page_idx[sel], window_us)
+        return probs
+
+    def write_probabilities(self, addrs: np.ndarray, window_us: float) -> np.ndarray:
+        """P(dirty bit set) per sample address over ``window_us`` — the
+        write channel of the monitoring hooks."""
+        vma_idx, page_idx, mapped = self.space.resolve(addrs)
+        probs = np.zeros(len(addrs), dtype=np.float64)
+        for ordinal, vma in enumerate(self.space.vmas):
+            sel = np.nonzero(vma_idx == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.write_probability(page_idx[sel], window_us)
+        return probs
+
+    def frame_write_probabilities(
+        self, frames: np.ndarray, window_us: float
+    ) -> np.ndarray:
+        """Physical-space write-probability variant (rmap-resolved)."""
+        owner_vma, owner_page = self.frames.owners(frames)
+        probs = np.zeros(len(frames), dtype=np.float64)
+        for vma, ordinal in self._vma_ids.items():
+            sel = np.nonzero(owner_vma == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.write_probability(owner_page[sel], window_us)
+        return probs
+
+    def frame_access_probabilities(
+        self, frames: np.ndarray, window_us: float
+    ) -> np.ndarray:
+        """Physical-space variant: resolve frames through the rmap."""
+        owner_vma, owner_page = self.frames.owners(frames)
+        probs = np.zeros(len(frames), dtype=np.float64)
+        for vma, ordinal in self._vma_ids.items():
+            sel = np.nonzero(owner_vma == ordinal)[0]
+            if sel.size:
+                probs[sel] = vma.pages.access_probability(owner_page[sel], window_us)
+        return probs
+
+    def charge_monitor_checks(self, n_checks: int, wakeups: int = 1) -> None:
+        """Account CPU time for one kdamond wakeup performing
+        ``n_checks`` accessed-bit checks, and pass the interference
+        share on to the workload's runtime."""
+        cpu = self.costs.monitor_check_cost_us(n_checks, wakeups)
+        self.metrics.monitor_checks += n_checks
+        self.metrics.monitor_cpu_us += cpu
+        self.metrics.runtime.monitor_interference_us += self.costs.interference_us(cpu)
+
+    # ------------------------------------------------------------------
+    # Accounting views
+    # ------------------------------------------------------------------
+    def rss_bytes(self) -> int:
+        """The workload's resident set size."""
+        return self.space.resident_bytes()
+
+    def system_bytes(self) -> int:
+        """RSS plus the swap device's DRAM overhead (ZRAM store)."""
+        return self.rss_bytes() + self.swap.dram_overhead_bytes()
+
+
+#: The public name the differential harness and bench import.
+LegacySimKernel = SimKernel

@@ -26,7 +26,7 @@ from ..schemes.parser import parse_schemes
 from ..sim.clock import EventQueue
 from ..sim.costs import CostModel
 from ..sim.kernel import SimKernel
-from ..sim.machine import get_instance, guest_of
+from ..sim.machine import MachineSpec, get_instance, guest_of
 from ..sim.swap import FileSwapDevice, NoSwapDevice, ZramDevice
 from ..sim.thp import ThpPolicy
 from ..trace.bus import TraceBus
@@ -91,7 +91,7 @@ def run_experiment(
     workload: Union[str, WorkloadSpec],
     *,
     config: Union[str, ExperimentConfig] = "baseline",
-    machine: str = "i3.metal",
+    machine: Union[str, MachineSpec] = "i3.metal",
     seed: int = 0,
     time_scale: float = 1.0,
     swap: str = "zram",
@@ -102,6 +102,7 @@ def run_experiment(
     collect_trace: bool = True,
     faults: Optional[FaultPlan] = None,
     oom_policy: Optional[str] = None,
+    kernel_cls: type = SimKernel,
 ) -> RunResult:
     """Run one experiment and return its raw measurements.
 
@@ -117,6 +118,13 @@ def run_experiment(
     sites then cost one ``is None`` check each.  Tracing never touches
     the simulation's RNG streams, so results are identical either way.
 
+    ``machine`` is an instance name or a ready-made
+    :class:`~repro.sim.machine.MachineSpec` (e.g. from
+    ``scaled_instance``); ``kernel_cls`` swaps in an alternative kernel
+    implementation with the same constructor — the differential test
+    harness and the kernel benchmark run the frozen legacy kernel
+    through the exact same driver this way.
+
     ``faults`` injects a seeded fault plan into the run: one
     :class:`~repro.faults.FaultInjector` is shared by the kernel,
     monitor and engine, and the kernel's ``oom_policy`` defaults to
@@ -127,7 +135,7 @@ def run_experiment(
     spec = get_workload(workload) if isinstance(workload, str) else workload
     spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
     cfg = get_config(config) if isinstance(config, str) else config
-    host = get_instance(machine)
+    host = machine if isinstance(machine, MachineSpec) else get_instance(machine)
     guest = guest_of(host)
 
     if trace is None and collect_trace:
@@ -137,7 +145,7 @@ def run_experiment(
     if oom_policy is None:
         oom_policy = "shed" if faults is not None else "raise"
 
-    kernel = SimKernel(
+    kernel = kernel_cls(
         guest,
         swap=_build_swap(swap, host),
         costs=costs,
@@ -248,7 +256,7 @@ def run_experiment(
     return RunResult(
         workload=spec.full_name,
         config=cfg.name,
-        machine=machine,
+        machine=host.name,
         seed=seed,
         duration_us=spec.duration_us,
         runtime_us=metrics.runtime.total_us(),

@@ -89,7 +89,11 @@ class SimKernel:
         # kernel's own khugepaged_scan() additionally handles frame
         # allocation for the bloat pages.
         self.khugepaged = Khugepaged(self.space, self.thp_policy)
-        self.lru = LruReclaimer(self.space)
+        self.lru = LruReclaimer(
+            self.space,
+            frames=self.frames,
+            ordinal_segments=self._ordinal_segments,
+        )
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.metrics = KernelMetrics()
         #: Optional trace bus; every management path emits through it.
@@ -101,6 +105,12 @@ class SimKernel:
         #: reverts the rest of the batch, and enters degraded mode.
         self.oom_policy = oom_policy
         self._vma_ids = {}  # VMA -> ordinal used in the frame table's rmap
+        # Ordinals are monotonic, never reused: a dict-length ordinal
+        # would collide with a live VMA's rmap tags after any munmap.
+        self._next_vma_ordinal = 0
+        # ordinal -> position in space.vmas, cached per layout generation.
+        self._ordinal_lut: Optional[np.ndarray] = None
+        self._ordinal_lut_gen = -1
         self._oom_reclaim_failed = False
         self._degraded_reason = ""
         self._degraded_since_us = 0
@@ -111,7 +121,8 @@ class SimKernel:
     def mmap(self, start: int, size: int, name: str = "") -> VMA:
         """Map ``[start, start + size)`` and register it with the rmap."""
         vma = self.space.mmap(start, size, name)
-        self._vma_ids[vma] = len(self._vma_ids)
+        self._vma_ids[vma] = self._next_vma_ordinal
+        self._next_vma_ordinal += 1
         return vma
 
     def munmap(self, vma: VMA) -> None:
@@ -130,6 +141,17 @@ class SimKernel:
 
     def _vma_id(self, vma: VMA) -> int:
         return self._vma_ids[vma]
+
+    def _ordinal_segments(self) -> np.ndarray:
+        """Map rmap ordinals to flat-table segment indices (positions in
+        ``space.vmas``); -1 for ordinals whose VMA was unmapped."""
+        if self._ordinal_lut_gen != self.space.generation:
+            lut = np.full(self._next_vma_ordinal, -1, dtype=np.int64)
+            for pos, vma in enumerate(self.space.vmas):
+                lut[self._vma_ids[vma]] = pos
+            self._ordinal_lut = lut
+            self._ordinal_lut_gen = self.space.generation
+        return self._ordinal_lut
 
     # ------------------------------------------------------------------
     # Epoch lifecycle (driven by the workload runner)
@@ -313,17 +335,7 @@ class SimKernel:
         """
         keep_major = min(major.size, granted)
         keep_minor = granted - keep_major
-        drop_major = major[keep_major:]
-        drop_minor = minor[keep_minor:]
-        if drop_major.size:
-            pt.present[drop_major] = False
-            pt.swapped[drop_major] = True
-            pt.dirty[drop_major] = False
-            pt.frame[drop_major] = -1
-        if drop_minor.size:
-            pt.present[drop_minor] = False
-            pt.dirty[drop_minor] = False
-            pt.frame[drop_minor] = -1
+        pt.revert_faults(major[keep_major:], minor[keep_minor:])
         return major[:keep_major], minor[:keep_minor]
 
     def _enter_degraded(self, reason: str, now: int) -> None:
@@ -392,13 +404,11 @@ class SimKernel:
         evicted = written_back = 0
         for vma, idx in victims:
             pt = vma.pages
-            frames = pt.frame[idx]
-            self.frames.release(frames[frames >= 0])
-            n_dirty = int(np.count_nonzero(pt.dirty[idx]))
-            pt.present[idx] = False
-            pt.swapped[idx] = True
-            pt.dirty[idx] = False
-            pt.frame[idx] = -1
+            frames, n_dirty = pt.evict_pages(idx)
+            self.frames.release(frames)
+            # Swap latency is settled per VMA group: the device rounds
+            # each store() internally, so merging groups would change
+            # the charged total (a differential-contract detail).
             latency = self.swap.store(idx.size, n_dirty)
             self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
             self.metrics.pages_swapped_out += idx.size
@@ -428,20 +438,19 @@ class SimKernel:
         """PAGEOUT: immediately reclaim the address range.  Returns pages
         paged out (0 if swap is full — reclaim silently stops, as
         madvise_pageout does)."""
-        total = total_dirty = 0
+        total = total_dirty = attempted = 0
         for vma, lo, hi in self.space.ranges_in(start, end):
             pt = vma.pages
             was_dirty = pt.dirty[lo:hi].copy()
             candidates, _ = pt.pageout_range(lo, hi)
             if candidates.size == 0:
                 continue
+            attempted += int(candidates.size)
             allowed = min(candidates.size, self._swap_free_pages(now))
             if allowed < candidates.size:
                 # Roll the overflow back to present.
                 rollback = candidates[allowed:]
-                pt.present[rollback] = True
-                pt.swapped[rollback] = False
-                pt.dirty[rollback] = was_dirty[rollback - lo]
+                pt.rollback_pageout(rollback, was_dirty[rollback - lo])
                 candidates = candidates[:allowed]
             if candidates.size == 0:
                 continue
@@ -456,7 +465,10 @@ class SimKernel:
             total += candidates.size
             total_dirty += n_dirty
         tr = self.trace
-        if tr is not None and total:
+        # Emit whenever reclaimable candidates existed, even if a full
+        # swap device (the Figure 9 "No Swap" path) clamped the batch to
+        # zero pages — consumers see the attempt, not silence.
+        if tr is not None and attempted:
             tr.emit(
                 PageoutBatch(
                     time_us=tr.now,
@@ -480,10 +492,7 @@ class SimKernel:
                 granted = min(idx.size, self._free_after_reclaim(idx.size, now))
                 if granted < idx.size:
                     # Prefetch is advisory: leave the overflow swapped.
-                    rollback = idx[granted:]
-                    pt.present[rollback] = False
-                    pt.swapped[rollback] = True
-                    pt.frame[rollback] = -1
+                    pt.rollback_swapin(idx[granted:])
                     self.metrics.shed_pages += idx.size - granted
                     self._enter_degraded("oom", now)
                     idx = idx[:granted]
@@ -507,36 +516,28 @@ class SimKernel:
         hi = min(self.frames.n_frames, -(-end // PAGE_SIZE))
         if hi <= lo:
             return []
-        frames = np.arange(lo, hi, dtype=np.int64)
-        owner_vma, owner_page = self.frames.owners(frames)
-        out = []
-        for ordinal, vma in enumerate(self._vma_ids):
-            sel = owner_page[owner_vma == ordinal]
-            if sel.size:
-                out.append((vma, sel))
-        return out
+        vma_by_ordinal = {ordinal: vma for vma, ordinal in self._vma_ids.items()}
+        return [
+            (vma_by_ordinal[ordinal], pages)
+            for ordinal, pages in self.frames.rmap_groups(lo, hi)
+        ]
 
     def pageout_phys(self, start: int, end: int, now: int) -> int:
         """PAGEOUT on a physical address range: resolve the frames
         through the rmap and reclaim the mapping pages."""
-        total = total_dirty = 0
+        total = total_dirty = attempted = 0
         for vma, idx in self._frames_in_range(start, end):
             pt = vma.pages
             candidates = idx[pt.present[idx]]
             if pt.chunk_huge.any():
                 candidates = candidates[~pt.huge_mask(candidates)]
+            attempted += int(candidates.size)
             allowed = min(candidates.size, self._swap_free_pages(now))
             candidates = candidates[:allowed]
             if candidates.size == 0:
                 continue
-            frames = pt.frame[candidates]
-            self.frames.release(frames[frames >= 0])
-            n_dirty = int(np.count_nonzero(pt.dirty[candidates]))
-            pt.present[candidates] = False
-            pt.swapped[candidates] = True
-            pt.bloat[candidates] = False
-            pt.dirty[candidates] = False
-            pt.frame[candidates] = -1
+            frames, n_dirty = pt.evict_pages(candidates, clear_bloat=True)
+            self.frames.release(frames)
             latency = self.swap.store(candidates.size, n_dirty)
             self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
             self.metrics.pages_swapped_out += candidates.size
@@ -544,7 +545,7 @@ class SimKernel:
             total += int(candidates.size)
             total_dirty += n_dirty
         tr = self.trace
-        if tr is not None and total:
+        if tr is not None and attempted:
             tr.emit(
                 PageoutBatch(
                     time_us=tr.now,
@@ -710,15 +711,35 @@ class SimKernel:
             return {"promotions": 0, "bloat_pages": 0}
         result = {"promotions": 0, "bloat_pages": 0}
         threshold = self.thp_policy.min_present_pages
-        for vma in self.space.vmas:
-            pt = vma.pages
-            if pt.n_chunks == 0:
-                continue
-            present = pt.present[: pt.n_chunks * PAGES_PER_HUGE]
-            per_chunk = present.reshape(pt.n_chunks, PAGES_PER_HUGE).sum(axis=1)
-            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge)[0]
+        flat = self.space.flat
+        if flat.n_chunks == 0:
+            return result
+        # Eligibility is one whole-table pass; promotion stays per VMA
+        # (chunk indices — and the frame/swap settlement — are VMA-local).
+        counts = flat.chunk_present_counts()
+        eligible_mask = (counts >= threshold) & ~flat.chunk_huge
+        if not eligible_mask.any():
+            return result
+        co = flat.chunk_offset
+        stale = False
+        for ordinal, vma in enumerate(self.space.vmas):
+            if stale:
+                # An earlier VMA's promotion may have reclaimed pages out
+                # of this one, so its precomputed counts are stale —
+                # recompute the segment the way the lazy per-VMA scan did.
+                pt = vma.pages
+                if pt.n_chunks == 0:
+                    continue
+                present = pt.present[: pt.n_chunks * PAGES_PER_HUGE]
+                per_chunk = present.reshape(pt.n_chunks, PAGES_PER_HUGE).sum(axis=1)
+                eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge)[0]
+            else:
+                eligible = np.nonzero(
+                    eligible_mask[co[ordinal] : co[ordinal + 1]]
+                )[0]
             if eligible.size == 0:
                 continue
+            stale = True
             bloat_before = self.metrics.thp_bloat_pages
             result["promotions"] += self._promote(vma, eligible, now)
             result["bloat_pages"] += self.metrics.thp_bloat_pages - bloat_before
@@ -734,10 +755,10 @@ class SimKernel:
         """
         vma_idx, page_idx, mapped = self.space.resolve(addrs)
         probs = np.zeros(len(addrs), dtype=np.float64)
-        for ordinal, vma in enumerate(self.space.vmas):
-            sel = np.nonzero(vma_idx == ordinal)[0]
-            if sel.size:
-                probs[sel] = vma.pages.access_probability(page_idx[sel], window_us)
+        if mapped.any():
+            flat = self.space.flat
+            g = flat.page_offset[vma_idx[mapped]] + page_idx[mapped]
+            probs[mapped] = flat.access_probability(g, window_us)
         return probs
 
     def write_probabilities(self, addrs: np.ndarray, window_us: float) -> np.ndarray:
@@ -745,10 +766,10 @@ class SimKernel:
         write channel of the monitoring hooks."""
         vma_idx, page_idx, mapped = self.space.resolve(addrs)
         probs = np.zeros(len(addrs), dtype=np.float64)
-        for ordinal, vma in enumerate(self.space.vmas):
-            sel = np.nonzero(vma_idx == ordinal)[0]
-            if sel.size:
-                probs[sel] = vma.pages.write_probability(page_idx[sel], window_us)
+        if mapped.any():
+            flat = self.space.flat
+            g = flat.page_offset[vma_idx[mapped]] + page_idx[mapped]
+            probs[mapped] = flat.write_probability(g, window_us)
         return probs
 
     def frame_write_probabilities(
@@ -757,10 +778,12 @@ class SimKernel:
         """Physical-space write-probability variant (rmap-resolved)."""
         owner_vma, owner_page = self.frames.owners(frames)
         probs = np.zeros(len(frames), dtype=np.float64)
-        for ordinal, vma in enumerate(self._vma_ids):
-            sel = np.nonzero(owner_vma == ordinal)[0]
-            if sel.size:
-                probs[sel] = vma.pages.write_probability(owner_page[sel], window_us)
+        owned = owner_vma >= 0
+        if owned.any():
+            flat = self.space.flat
+            seg = self._ordinal_segments()[owner_vma[owned]]
+            g = flat.page_offset[seg] + owner_page[owned]
+            probs[owned] = flat.write_probability(g, window_us)
         return probs
 
     def frame_access_probabilities(
@@ -769,10 +792,12 @@ class SimKernel:
         """Physical-space variant: resolve frames through the rmap."""
         owner_vma, owner_page = self.frames.owners(frames)
         probs = np.zeros(len(frames), dtype=np.float64)
-        for ordinal, vma in enumerate(self._vma_ids):
-            sel = np.nonzero(owner_vma == ordinal)[0]
-            if sel.size:
-                probs[sel] = vma.pages.access_probability(owner_page[sel], window_us)
+        owned = owner_vma >= 0
+        if owned.any():
+            flat = self.space.flat
+            seg = self._ordinal_segments()[owner_vma[owned]]
+            g = flat.page_offset[seg] + owner_page[owned]
+            probs[owned] = flat.access_probability(g, window_us)
         return probs
 
     def charge_monitor_checks(self, n_checks: int, wakeups: int = 1) -> None:

@@ -34,24 +34,37 @@ LRU_SCAN_INTERVAL_US = 4 * SEC
 class LruReclaimer:
     """Global LRU eviction across one address space."""
 
-    def __init__(self, space: AddressSpace, *, activation_window_us: int = 10 * SEC):
+    def __init__(
+        self,
+        space: AddressSpace,
+        *,
+        frames=None,
+        ordinal_segments=None,
+        activation_window_us: int = 10 * SEC,
+    ):
         if activation_window_us <= 0:
             raise ConfigError("activation window must be positive")
         self.space = space
+        #: Optional :class:`~repro.sim.physmem.FrameTable` plus a
+        #: callable mapping its rmap ordinals to ``space.vmas`` positions
+        #: (the kernel provides both).  With them, sparse-residency
+        #: victim selection enumerates the allocated frames instead of
+        #: scanning the whole page table.
+        self.frames = frames
+        self._ordinal_segments = ordinal_segments
         self.activation_window_us = activation_window_us
         self.total_evicted = 0
 
     # ------------------------------------------------------------------
     def list_sizes(self, now: int) -> Tuple[int, int]:
         """(active, inactive) page counts at virtual time ``now``."""
-        active = 0
-        inactive = 0
+        flat = self.space.flat
+        if flat.n_pages == 0:
+            return 0, 0
         cutoff = now - self.activation_window_us
-        for vma in self.space.vmas:
-            pt = vma.pages
-            recent = pt.last_touch >= cutoff
-            active += int(np.count_nonzero(pt.present & recent))
-            inactive += int(np.count_nonzero(pt.present & ~recent))
+        recent = flat.last_touch >= cutoff
+        active = int(np.count_nonzero(flat.present & recent))
+        inactive = int(np.count_nonzero(flat.present & ~recent))
         return active, inactive
 
     def select_victims(
@@ -73,27 +86,41 @@ class LruReclaimer:
         """
         if n_pages <= 0:
             return []
-        # Gather (last_touch, vma_ordinal, page_idx) for present,
-        # non-huge-mapped pages, then take the n smallest timestamps.
-        per_vma = []
-        for ordinal, vma in enumerate(self.space.vmas):
-            pt = vma.pages
+        # One whole-table masked pass over the flat concatenated page
+        # table; segment order equals VMA address order, so the stamp
+        # sequence (and hence RNG consumption and argpartition output)
+        # is element-for-element what the per-VMA gather produced.
+        flat = self.space.flat
+        if flat.n_pages == 0:
+            return []
+        frames = self.frames
+        if (
+            frames is not None
+            and self._ordinal_segments is not None
+            and frames.peak_allocated * 8 < flat.n_pages
+        ):
+            # Sparse residency: every evictable page owns a frame, so the
+            # frame table's live set IS the candidate set — O(allocated)
+            # instead of an O(n_pages) mask scan.  Sorting restores the
+            # ascending page order the mask scan produces, so the RNG
+            # tie-break mapping (and hence the selection) is identical.
+            fr = frames.allocated_frames()
+            seg = self._ordinal_segments()[frames.owner_vma[fr]]
+            idx = flat.page_offset[seg] + frames.owner_page[fr]
+            idx.sort()
+            if flat.chunk_huge.any():
+                idx = idx[~flat.huge_page_mask(idx)]
+        else:
             # A page mid-fault (present but no frame assigned yet) is
             # locked by its faulting thread and cannot be reclaimed.
-            evictable = pt.present & (pt.frame >= 0)
-            if pt.chunk_huge.any():
-                evictable &= ~pt.huge_mask(np.arange(pt.n_pages, dtype=np.int64))
+            evictable = flat.present & (flat.frame >= 0)
+            if flat.chunk_huge.any():
+                evictable &= ~flat.huge_page_mask()
             idx = np.nonzero(evictable)[0]
-            if idx.size:
-                per_vma.append((ordinal, idx, pt.last_touch[idx], pt.lru_gen[idx]))
-        if not per_vma:
+        if idx.size == 0:
             return []
-        ordinals = np.concatenate(
-            [np.full(idx.size, ordinal, dtype=np.int64) for ordinal, idx, *_ in per_vma]
-        )
-        pages = np.concatenate([idx for _, idx, _, _ in per_vma])
-        stamps = np.concatenate([ts for _, _, ts, _ in per_vma]).astype(np.float64)
-        gens = np.concatenate([g for _, _, _, g in per_vma]).astype(np.float64)
+        stamps = flat.last_touch[idx].astype(np.float64)
+        gens = flat.lru_gen[idx].astype(np.float64)
         stamps = np.floor(stamps / LRU_SCAN_INTERVAL_US)
         if rng is not None:
             stamps = stamps + rng.random(stamps.size)
@@ -102,9 +129,11 @@ class LruReclaimer:
         stamps = stamps + gens * 1e12
         take = min(n_pages, stamps.size)
         order = np.argpartition(stamps, take - 1)[:take]
+        chosen = idx[order]
+        ordinals = flat.vma_ordinal[chosen]
         victims: List[Tuple[object, np.ndarray]] = []
-        for ordinal in np.unique(ordinals[order]):
-            sel = order[ordinals[order] == ordinal]
-            victims.append((self.space.vmas[int(ordinal)], pages[sel]))
+        for ordinal in np.unique(ordinals):
+            sel = chosen[ordinals == ordinal] - flat.page_offset[ordinal]
+            victims.append((self.space.vmas[int(ordinal)], sel))
         self.total_evicted += take
         return victims

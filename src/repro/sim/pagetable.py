@@ -90,6 +90,10 @@ class PageTable:
         "chunk_huge",
         "chunk_promoted_at",
         "_chunk_rates",
+        "n_present",
+        "n_swapped",
+        "_owner",
+        "_rate_slices",
     )
 
     def __init__(self, n_pages: int):
@@ -125,6 +129,46 @@ class PageTable:
         # Per-epoch cache of per-chunk rate sums (invalidated on any
         # rate change); the monitor reads it once per sampling tick.
         self._chunk_rates = None
+        # Incremental residency accounting: every state transition that
+        # flips ``present``/``swapped`` goes through a method of this
+        # class and keeps these counters exact, so RSS reads are O(1)
+        # instead of a whole-table count.
+        self.n_present = 0
+        self.n_swapped = 0
+        # The FlatPageTable this table's columns are views into (None
+        # while standalone); rate mutations invalidate its chunk cache.
+        self._owner = None
+        # Ranges written by rate declarations since the last clear, so
+        # the epoch-boundary reset zeroes only what was touched instead
+        # of the whole table.  ``None`` = lost track, do a full fill.
+        self._rate_slices = []
+
+    def _bind(self, flat, page_sl: slice, chunk_sl: slice) -> None:
+        """Rebind every column to a slice view of ``flat``'s storage.
+
+        Called by :class:`repro.sim.flatpages.FlatPageTable` after it
+        copied this table's current state into its flat arrays.  Views
+        share memory, so all per-VMA methods keep writing through.
+        """
+        self.present = flat.present[page_sl]
+        self.swapped = flat.swapped[page_sl]
+        self.rate = flat.rate[page_sl]
+        self.write_rate = flat.write_rate[page_sl]
+        self.dirty = flat.dirty[page_sl]
+        self.last_touch = flat.last_touch[page_sl]
+        self.touch_count = flat.touch_count[page_sl]
+        self.frame = flat.frame[page_sl]
+        self.bloat = flat.bloat[page_sl]
+        self.lru_gen = flat.lru_gen[page_sl]
+        self.chunk_huge = flat.chunk_huge[chunk_sl]
+        self.chunk_promoted_at = flat.chunk_promoted_at[chunk_sl]
+        self._chunk_rates = None
+        self._owner = flat
+
+    def _invalidate_chunk_rates(self) -> None:
+        self._chunk_rates = None
+        if self._owner is not None:
+            self._owner._chunk_rates = None
 
     # ------------------------------------------------------------------
     # Bounds helpers
@@ -171,10 +215,32 @@ class PageTable:
         if fraction == 0.0 or lo == hi:
             empty = np.empty(0, dtype=np.int64)
             return {"touched": empty, "major": empty, "minor": empty}
+        if stride == 1 and fraction >= 1.0:
+            # Contiguous full-range touch — the dominant burst shape
+            # (sweeps, streams, hotspots).  Slice assignments avoid the
+            # index gather/scatter of the general path; fault indices
+            # from nonzero match the gathered ones element for element.
+            sl = slice(lo, hi)
+            major = np.nonzero(self.swapped[sl])[0] + lo
+            minor = np.nonzero(~(self.present[sl] | self.swapped[sl]))[0] + lo
+            self.present[sl] = True
+            self.swapped[sl] = False
+            self.bloat[sl] = False
+            self.last_touch[sl] = now
+            self.touch_count[sl] += max(1, int(round(touches)))
+            touched = np.arange(lo, hi, dtype=np.int64)
+            if write_fraction >= 1.0:
+                self.dirty[sl] = True
+            elif write_fraction > 0.0:
+                if rng is None:
+                    raise ConfigError("fractional writes require an RNG")
+                writers = touched[rng.random(touched.size) < write_fraction]
+                self.dirty[writers] = True
+            self.n_present += int(major.size + minor.size)
+            self.n_swapped -= int(major.size)
+            return {"touched": touched, "major": major, "minor": minor}
         if stride > 1:
             touched = np.arange(lo, hi, stride, dtype=np.int64)
-        elif fraction >= 1.0:
-            touched = np.arange(lo, hi, dtype=np.int64)
         else:
             if rng is None:
                 raise ConfigError("fractional touch requires an RNG")
@@ -198,18 +264,29 @@ class PageTable:
                 raise ConfigError("fractional writes require an RNG")
             writers = touched[rng.random(touched.size) < write_fraction]
             self.dirty[writers] = True
+        self.n_present += int(major.size + minor.size)
+        self.n_swapped -= int(major.size)
         return {"touched": touched, "major": major, "minor": minor}
 
     # ------------------------------------------------------------------
     # Accessed-bit channel (channel 2: monitoring)
     # ------------------------------------------------------------------
+    def _record_rate_slice(self, lo: int, hi: int) -> None:
+        slices = self._rate_slices
+        if slices is not None:
+            if len(slices) >= 64:
+                self._rate_slices = None  # too fragmented; full clear
+            else:
+                slices.append((lo, hi))
+
     def set_rate(self, lo: int, hi: int, rate_per_sec: float) -> None:
         """Declare the touch rate of ``[lo, hi)`` for the current epoch."""
         self._check_range(lo, hi)
         if rate_per_sec < 0:
             raise ConfigError(f"rate must be non-negative: {rate_per_sec}")
         self.rate[lo:hi] = rate_per_sec
-        self._chunk_rates = None
+        self._record_rate_slice(lo, hi)
+        self._invalidate_chunk_rates()
 
     def add_rate(self, lo: int, hi: int, rate_per_sec: float, stride: int = 1) -> None:
         """Accumulate touch rate over ``[lo, hi)`` — bursts may overlap."""
@@ -219,7 +296,8 @@ class PageTable:
         if stride < 1:
             raise ConfigError(f"stride must be at least 1: {stride}")
         self.rate[lo:hi:stride] += rate_per_sec
-        self._chunk_rates = None
+        self._record_rate_slice(lo, hi)
+        self._invalidate_chunk_rates()
 
     def add_write_rate(self, lo: int, hi: int, rate_per_sec: float, stride: int = 1) -> None:
         """Accumulate write rate over ``[lo, hi)`` (dirty-bit channel)."""
@@ -229,12 +307,26 @@ class PageTable:
         if stride < 1:
             raise ConfigError(f"stride must be at least 1: {stride}")
         self.write_rate[lo:hi:stride] += rate_per_sec
+        self._record_rate_slice(lo, hi)
 
     def clear_rates(self) -> None:
-        """Reset all touch rates at an epoch boundary."""
-        self.rate.fill(0.0)
-        self.write_rate.fill(0.0)
-        self._chunk_rates = None
+        """Reset all touch rates at an epoch boundary.
+
+        Zeroes only the ranges declared since the last clear (every
+        declaration goes through the methods above, which record their
+        range); a whole-table fill would cost O(table) per epoch no
+        matter how little of it the workload touched.
+        """
+        slices = self._rate_slices
+        if slices is None:
+            self.rate.fill(0.0)
+            self.write_rate.fill(0.0)
+        else:
+            for lo, hi in slices:
+                self.rate[lo:hi] = 0.0
+                self.write_rate[lo:hi] = 0.0
+        self._rate_slices = []
+        self._invalidate_chunk_rates()
 
     def access_probability(self, idx: np.ndarray, window_us: float) -> np.ndarray:
         """P(accessed bit set) for pages ``idx`` over a ``window_us`` window.
@@ -310,6 +402,8 @@ class PageTable:
         # Writeback cleans the pages; clean pages whose content already
         # sits in swap cost nothing to store again.
         self.dirty[idx] = False
+        self.n_present -= int(idx.size)
+        self.n_swapped += int(idx.size)
         return idx, n_dirty
 
     def swap_in_range(self, lo: int, hi: int) -> np.ndarray:
@@ -318,6 +412,8 @@ class PageTable:
         idx = np.nonzero(self.swapped[lo:hi])[0].astype(np.int64) + lo
         self.swapped[idx] = False
         self.present[idx] = True
+        self.n_present += int(idx.size)
+        self.n_swapped -= int(idx.size)
         return idx
 
     def promote_chunks(self, chunks: np.ndarray, now: int):
@@ -347,6 +443,8 @@ class PageTable:
         self.bloat[new_idx[self.last_touch[new_idx] > NEVER]] = False
         self.chunk_huge[chunks] = True
         self.chunk_promoted_at[chunks] = now
+        self.n_present += int(new_idx.size)
+        self.n_swapped -= n_swapped
         return chunks, new_idx, n_swapped
 
     def promote_chunk(self, chunk: int, now: int) -> int:
@@ -373,6 +471,7 @@ class PageTable:
         self.present[freed_idx] = False
         self.bloat[freed_idx] = False
         self.chunk_huge[chunks] = False
+        self.n_present -= int(freed_idx.size)
         return chunks, freed_idx
 
     def demote_chunk(self, chunk: int, now: int) -> int:
@@ -381,15 +480,84 @@ class PageTable:
         return int(freed.size)
 
     # ------------------------------------------------------------------
+    # Kernel-side transitions (the façade's write paths; these keep the
+    # residency counters exact, so the kernel never pokes the columns)
+    # ------------------------------------------------------------------
+    def evict_pages(self, idx: np.ndarray, *, clear_bloat: bool = False):
+        """Move present pages ``idx`` to swap (reclaim / phys pageout).
+
+        Returns ``(frames, n_dirty)``: the physical frames to release and
+        the dirty count that prices the writeback.  ``clear_bloat``
+        matches the physical pageout path, which drops bloat status on
+        eviction (the page's content now lives in swap).
+        """
+        frames = self.frame[idx]
+        frames = frames[frames >= 0]
+        n_dirty = int(np.count_nonzero(self.dirty[idx]))
+        self.present[idx] = False
+        self.swapped[idx] = True
+        self.dirty[idx] = False
+        self.frame[idx] = -1
+        if clear_bloat:
+            self.bloat[idx] = False
+        self.n_present -= int(idx.size)
+        self.n_swapped += int(idx.size)
+        return frames, n_dirty
+
+    def revert_faults(self, drop_major: np.ndarray, drop_minor: np.ndarray) -> None:
+        """Undo this batch's faults on the given pages (allocation shed):
+        major-fault pages return to swap, minor-fault pages to untouched."""
+        if drop_major.size:
+            self.present[drop_major] = False
+            self.swapped[drop_major] = True
+            self.dirty[drop_major] = False
+            self.frame[drop_major] = -1
+        if drop_minor.size:
+            self.present[drop_minor] = False
+            self.dirty[drop_minor] = False
+            self.frame[drop_minor] = -1
+        self.n_present -= int(drop_major.size + drop_minor.size)
+        self.n_swapped += int(drop_major.size)
+
+    def rollback_pageout(self, idx: np.ndarray, dirty: np.ndarray) -> None:
+        """Re-map pages ``idx`` that :meth:`pageout_range` already moved
+        to swap but the device could not store (swap full), restoring
+        their dirty bits."""
+        self.present[idx] = True
+        self.swapped[idx] = False
+        self.dirty[idx] = dirty
+        self.n_present += int(idx.size)
+        self.n_swapped -= int(idx.size)
+
+    def rollback_swapin(self, idx: np.ndarray) -> None:
+        """Return pages ``idx`` to swap after a prefetch could not get
+        frames (advisory WILLNEED overflow)."""
+        self.present[idx] = False
+        self.swapped[idx] = True
+        self.frame[idx] = -1
+        self.n_present -= int(idx.size)
+        self.n_swapped += int(idx.size)
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def resident_pages(self) -> int:
-        """Number of DRAM-resident pages (RSS contribution)."""
-        return int(np.count_nonzero(self.present))
+        """Number of DRAM-resident pages (RSS contribution); O(1) via
+        the incremental counter."""
+        return self.n_present
 
     def swapped_pages(self) -> int:
-        """Number of pages currently on the swap device."""
-        return int(np.count_nonzero(self.swapped))
+        """Number of pages currently on the swap device; O(1)."""
+        return self.n_swapped
+
+    def recount(self) -> None:
+        """Recompute the residency counters from the bitmap ground truth.
+
+        Exists for tests (and for callers that mutated the columns
+        directly): the property suite asserts the incremental counters
+        never drift from this."""
+        self.n_present = int(np.count_nonzero(self.present))
+        self.n_swapped = int(np.count_nonzero(self.swapped))
 
     def huge_chunks(self) -> int:
         """Number of huge-mapped 2 MiB chunks."""

@@ -105,6 +105,40 @@ class FrameTable:
             raise AddressSpaceError("frame number out of range")
         return self.owner_vma[frames], self.owner_page[frames]
 
+    def allocated_frames(self) -> np.ndarray:
+        """All currently allocated frame numbers, ascending.
+
+        O(peak allocation), not O(capacity): fresh frames are only drawn
+        past ``_next_fresh`` when the recycled stack is empty, so
+        ``[0, _next_fresh)`` minus the stack is exactly the live set.
+        """
+        mask = np.ones(self._next_fresh, dtype=bool)
+        mask[self._recycled[: self._recycled_top]] = False
+        return np.nonzero(mask)[0]
+
+    def rmap_groups(self, lo: int, hi: int):
+        """Owned frames of ``[lo, hi)`` grouped by owning VMA.
+
+        Returns ``[(vma_id, page_idx), ...]`` with VMA ids ascending and
+        each group's page indices in frame-number order (the order a
+        linear scan of the range would visit them) — one vectorized pass
+        instead of one owner-array scan per VMA.
+        """
+        ov = self.owner_vma[lo:hi]
+        owned = np.nonzero(ov >= 0)[0]
+        if owned.size == 0:
+            return []
+        ids = ov[owned]
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        pages = self.owner_page[lo:hi][owned[order]]
+        uniq, starts = np.unique(ids, return_index=True)
+        bounds = np.append(starts, ids.size)
+        return [
+            (int(uniq[i]), pages[bounds[i] : bounds[i + 1]])
+            for i in range(uniq.size)
+        ]
+
     def span_bytes(self) -> int:
         """Size of the physical address space in bytes."""
         return self.n_frames * PAGE_SIZE

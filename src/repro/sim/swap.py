@@ -19,7 +19,7 @@ from ..errors import ConfigError, SwapFullError
 from .pagetable import PAGE_SIZE
 from ..units import GIB
 
-__all__ = ["SwapDevice", "ZramDevice", "FileSwapDevice"]
+__all__ = ["SwapDevice", "ZramDevice", "FileSwapDevice", "NoSwapDevice"]
 
 
 class SwapDevice:

@@ -74,17 +74,23 @@ class Khugepaged:
         promotions = 0
         bloat_pages = 0
         threshold = self.policy.min_present_pages
-        for vma in self.space.vmas:
-            pt = vma.pages
-            full_chunks = pt.n_pages // PAGES_PER_HUGE
-            if full_chunks == 0:
-                continue
-            present = pt.present[: full_chunks * PAGES_PER_HUGE]
-            per_chunk = present.reshape(full_chunks, PAGES_PER_HUGE).sum(axis=1)
-            eligible = np.nonzero((per_chunk >= threshold) & ~pt.chunk_huge[:full_chunks])[0]
-            for chunk in eligible:
-                bloat_pages += pt.promote_chunk(int(chunk), now)
-                promotions += 1
+        # Whole-table eligibility in one pass over the flat page table;
+        # promotion itself stays per-VMA (chunk indices are VMA-local).
+        flat = self.space.flat
+        if flat.n_chunks:
+            counts = flat.chunk_present_counts()
+            eligible_mask = (counts >= threshold) & ~flat.chunk_huge
+            if eligible_mask.any():
+                co = flat.chunk_offset
+                for ordinal, vma in enumerate(self.space.vmas):
+                    eligible = np.nonzero(
+                        eligible_mask[co[ordinal] : co[ordinal + 1]]
+                    )[0]
+                    if eligible.size == 0:
+                        continue
+                    promoted, new_idx, _ = vma.pages.promote_chunks(eligible, now)
+                    promotions += int(promoted.size)
+                    bloat_pages += int(new_idx.size)
         self.total_promotions += promotions
         self.total_bloat_pages += bloat_pages
         return {"promotions": promotions, "bloat_pages": bloat_pages}

@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..errors import AddressSpaceError, ConfigError
+from .flatpages import FlatPageTable
 from .pagetable import PAGE_SIZE, PageTable
 
 __all__ = ["VMA", "AddressSpace"]
@@ -67,6 +68,21 @@ class AddressSpace:
         #: bumped on every layout change; the monitor's regions-update
         #: tick compares it to decide whether to re-derive target regions.
         self.generation = 0
+        self._flat: Optional[FlatPageTable] = None
+
+    @property
+    def flat(self) -> FlatPageTable:
+        """The concatenated struct-of-arrays page table for this space.
+
+        Built lazily and rebuilt after any layout change (tracked via
+        ``generation``); building rebinds every VMA's page-table columns
+        to views into the flat storage, so per-VMA and whole-table code
+        always read/write the same bytes.
+        """
+        flat = self._flat
+        if flat is None or flat.generation != self.generation:
+            flat = self._flat = FlatPageTable(self.vmas, self.generation)
+        return flat
 
     # ------------------------------------------------------------------
     # Layout mutation
@@ -141,12 +157,25 @@ class AddressSpace:
     # ------------------------------------------------------------------
     def ranges_in(self, start: int, end: int) -> Iterable[Tuple[VMA, int, int]]:
         """Yield ``(vma, page_lo, page_hi)`` for each VMA overlapping
-        ``[start, end)``, with page indices local to the VMA."""
-        if end <= start:
+        ``[start, end)``, with page indices local to the VMA.
+
+        VMAs are sorted and disjoint, so the overlapping run is found by
+        two binary searches instead of scanning the whole list.
+        """
+        if end <= start or not self.vmas:
             return
-        for vma in self.vmas:
-            if vma.end <= start or vma.start >= end:
-                continue
+        if len(self.vmas) > 8:
+            starts, ends = self._lookup_arrays()
+            i0 = int(np.searchsorted(ends, start, side="right"))
+            i1 = int(np.searchsorted(starts, end, side="left"))
+            overlapping = self.vmas[i0:i1]
+        else:
+            # For a handful of VMAs (the common workload layout) the
+            # plain scan beats two numpy searchsorted calls.
+            overlapping = [
+                v for v in self.vmas if v.start < end and v.end > start
+            ]
+        for vma in overlapping:
             lo_addr = max(start, vma.start)
             hi_addr = min(end, vma.end)
             lo = (lo_addr - vma.start) // PAGE_SIZE

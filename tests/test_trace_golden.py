@@ -1,11 +1,26 @@
-"""Golden determinism: identical runs produce byte-identical traces."""
+"""Golden determinism: identical runs produce byte-identical traces.
+
+Two layers of goldens live here:
+
+* whole-trace byte identity across same-seed runs (any event type);
+* committed **kernel-event fixtures** — the canonical ReclaimPass /
+  PageoutBatch / ThpPromotion streams of two fixed pressure scenarios,
+  pinned under ``tests/fixtures/``.  These catch silent changes to the
+  kernel's reclaim/promotion behaviour or event payloads.  To refresh
+  after an intentional change: ``REPRO_REGEN_GOLDEN=1 python -m pytest
+  tests/test_trace_golden.py`` and commit the rewritten fixtures.
+"""
 
 import io
+import json
+import os
 from dataclasses import fields
+from pathlib import Path
 
 import pytest
 
 from repro.runner.experiment import run_experiment
+from repro.sim.machine import scaled_instance
 from repro.trace import (
     JsonlTraceSink,
     TraceBus,
@@ -13,6 +28,12 @@ from repro.trace import (
     read_trace,
     validate_trace_file,
 )
+from repro.trace.events import PageoutBatch, ReclaimPass, ThpPromotion
+from repro.units import MIB, SEC
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.patterns import ColdInit, CyclicSweep, Hotspot
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 WORKLOAD = "parsec3/swaptions"
 CONFIG = "prcl"
@@ -71,6 +92,132 @@ class TestGoldenTrace:
         assert bus.counts.get("AccessSampled", 0) > 0
         assert bus.counts.get("RegionsAggregated", 0) > 0
         assert bus.counts.get("EpochEnd", 0) > 0
+
+
+#: The kernel's own event types: all-int payloads, stable goldens.
+KERNEL_EVENTS = (ReclaimPass, PageoutBatch, ThpPromotion)
+
+
+def _kernel_event_lines(workload, config, *, dram_scale, seed=9):
+    """Run one experiment and return its kernel events, canonically
+    encoded, in emission order."""
+    bus = TraceBus(ring_capacity=0)
+    buffer = io.StringIO()
+    bus.subscribe_all(JsonlTraceSink(buffer))
+    run_experiment(
+        workload,
+        config=config,
+        machine=scaled_instance("i3.metal", dram_scale=dram_scale),
+        seed=seed,
+        oom_policy="shed",
+        trace=bus,
+    )
+    return [
+        encode_event(e)
+        for e in read_trace(buffer.getvalue().splitlines())
+        if isinstance(e, KERNEL_EVENTS)
+    ]
+
+
+def _thp_pressure_spec():
+    """khugepaged bloat against small DRAM: ReclaimPass + ThpPromotion."""
+    fp = 192 * MIB
+    return WorkloadSpec(
+        name="thp-golden",
+        suite="golden",
+        footprint=fp,
+        duration_us=2 * SEC,
+        components=(
+            CyclicSweep(0, fp - 16 * MIB, period_us=2 * SEC, touches_per_sec=400),
+            Hotspot(fp - 4 * MIB, 4 * MIB),
+        ),
+    )
+
+
+def _prcl_cold_spec():
+    """Cold-init data aging past the prcl scheme's 5s min_age:
+    PageoutBatch (scheme PAGEOUT) + ReclaimPass (watermarks)."""
+    fp = 96 * MIB
+    return WorkloadSpec(
+        name="prcl-golden",
+        suite="golden",
+        footprint=fp,
+        duration_us=10 * SEC,
+        components=(
+            ColdInit(0, 64 * MIB, init_us=2 * SEC),
+            Hotspot(fp - 4 * MIB, 4 * MIB),
+        ),
+    )
+
+
+class TestKernelEventGoldens:
+    CASES = {
+        "kernel_trace_thp.jsonl": (
+            _thp_pressure_spec, "thp", 1 / 1024, (ReclaimPass, ThpPromotion)),
+        "kernel_trace_prcl.jsonl": (
+            _prcl_cold_spec, "prcl", 1 / 512, (ReclaimPass, PageoutBatch)),
+    }
+
+    @pytest.mark.parametrize("fixture", sorted(CASES))
+    def test_kernel_stream_matches_fixture(self, fixture):
+        spec_fn, config, dram_scale, expected_types = self.CASES[fixture]
+        lines = _kernel_event_lines(spec_fn(), config, dram_scale=dram_scale)
+        assert lines, "scenario emitted no kernel events"
+        names = {json.loads(line)["ev"] for line in lines}
+        for etype in expected_types:
+            assert etype.__name__ in names, f"no {etype.__name__} in stream"
+        path = FIXTURES / fixture
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+            path.write_text("\n".join(lines) + "\n")
+        assert path.exists(), (
+            f"missing golden fixture {path} — regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+        assert lines == path.read_text().splitlines()
+
+
+class TestNoSwapPageout:
+    """Figure 9 "No Swap": a PAGEOUT against a full (zero-capacity) swap
+    device must still emit a PageoutBatch — with zero pages — so trace
+    consumers see the attempt instead of silence."""
+
+    def test_pageout_emits_zero_page_batch(self):
+        from repro.sim.kernel import SimKernel
+        from repro.sim.machine import GuestSpec, get_instance
+        from repro.sim.swap import NoSwapDevice
+
+        base = 0x7F00_0000_0000
+        guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=256 * MIB)
+        bus = TraceBus(ring_capacity=0)
+        seen = []
+        bus.subscribe(PageoutBatch, seen.append)
+        kernel = SimKernel(guest, swap=NoSwapDevice(), seed=7, trace=bus)
+        kernel.mmap(base, 4 * MIB)
+        kernel.apply_access(base, base + 4 * MIB, now=0, epoch_us=100_000)
+        paged_out = kernel.pageout(base, base + 4 * MIB, now=200_000)
+        assert paged_out == 0
+        assert len(seen) == 1, "swap-full PAGEOUT attempt was not traced"
+        assert seen[0].paged_out_pages == 0
+        assert seen[0].written_back_pages == 0
+        # The pages never left DRAM.
+        assert kernel.rss_bytes() == 4 * MIB
+        assert kernel.swap.used_pages == kernel.swap.capacity_pages
+
+    def test_untouched_range_still_silent(self):
+        """No reclaimable candidates at all → no event (unchanged)."""
+        from repro.sim.kernel import SimKernel
+        from repro.sim.machine import GuestSpec, get_instance
+        from repro.sim.swap import NoSwapDevice
+
+        base = 0x7F00_0000_0000
+        guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=256 * MIB)
+        bus = TraceBus(ring_capacity=0)
+        seen = []
+        bus.subscribe(PageoutBatch, seen.append)
+        kernel = SimKernel(guest, swap=NoSwapDevice(), seed=7, trace=bus)
+        kernel.mmap(base, 4 * MIB)
+        assert kernel.pageout(base, base + 4 * MIB, now=0) == 0
+        assert seen == []
 
 
 class TestTracingIsInert:
