@@ -13,6 +13,13 @@ diagnostic: its cost is reported and bounded against regression
 (construction + canonical encoding per event put its floor near ~8%
 at this event rate), not held to the always-on budget.
 
+The SimSanitizer runtime (DESIGN.md §14) makes the same shape of
+promise, so it is gated here too: an *attached but disabled* sanitizer
+costs one attribute read and one ``if`` per epoch/aggregation
+checkpoint and must stay under 2% vs the default run; the enabled
+sanitizer (full invariant sweep per epoch boundary) is reported and
+bounded against regression, not held to the always-on budget.
+
 Protocol: the modes are interleaved round-robin and timed with CPU time
 (``time.process_time``), and the minimum over rounds is compared —
 wall-clock ratios on a contended host swing by more than the effect
@@ -29,6 +36,7 @@ import time
 from conftest import OUT_DIR
 
 from repro.runner.experiment import run_experiment
+from repro.sanitize import SimSanitizer
 from repro.trace import JsonlTraceSink, TraceBus
 
 #: Seeded monitored runs: "prcl" exercises the counters-only fast path
@@ -40,6 +48,8 @@ TIME_SCALE = 0.05
 ROUNDS = 15
 GATE = 0.05  # <5% end-to-end for the always-on tier
 SINK_CEILING = 0.15  # regression bound for the opt-in JSONL diagnostic
+SAN_GATE = 0.02  # <2% for an attached-but-disabled SimSanitizer
+SAN_CEILING = 0.35  # regression bound for the full invariant sweep
 
 
 def make_modes(workload, config):
@@ -59,6 +69,28 @@ def make_modes(workload, config):
     return {"off": run_off, "bus": run_bus, "sink": run_sink}
 
 
+def make_sanitizer_modes(workload, config):
+    """Sanitizer tiers, interleaved separately from the trace tiers so
+    each comparison keeps the original three-way round cadence (longer
+    rounds dilute the minima the protocol depends on).  The "bus"
+    default run is re-timed here as the sanitizer baseline: it is the
+    configuration ``--sanitize`` adds its checkpoints to."""
+    kw = dict(config=config, seed=SEED, time_scale=TIME_SCALE)
+
+    def run_bus():
+        return run_experiment(workload, **kw)
+
+    def run_san_off():
+        # Attached but disabled: the cost every checkpoint site pays
+        # when sanitizing is off but the object exists.
+        return run_experiment(workload, **kw, sanitize=SimSanitizer(enabled=False))
+
+    def run_san_on():
+        return run_experiment(workload, **kw, sanitize=True)
+
+    return {"bus": run_bus, "san_off": run_san_off, "san_on": run_san_on}
+
+
 def measure(modes, rounds=ROUNDS):
     """Min CPU time per mode over interleaved rounds, in microseconds."""
     best = {name: float("inf") for name in modes}
@@ -74,10 +106,12 @@ def measure(modes, rounds=ROUNDS):
 
 def test_trace_overhead_under_gate(benchmark, report):
     results = {}
+    san_results = {}
 
     def run_all():
         for workload, config in CASES:
             results[config] = measure(make_modes(workload, config))
+            san_results[config] = measure(make_sanitizer_modes(workload, config))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -93,9 +127,11 @@ def test_trace_overhead_under_gate(benchmark, report):
         "rounds": ROUNDS,
         "gate": GATE,
         "sink_ceiling": SINK_CEILING,
+        "san_gate": SAN_GATE,
+        "san_ceiling": SAN_CEILING,
         "modes": {},
     }
-    worst = {"bus": 0.0, "sink": 0.0}
+    worst = {"bus": 0.0, "sink": 0.0, "san_off": 0.0, "san_on": 0.0}
     for (workload, config), times in zip(CASES, results.values()):
         n_events = make_modes(workload, config)["bus"]().trace_summary["n_events"]
         report.add(f"  {workload}/{config}  ({n_events} events per run)")
@@ -108,8 +144,19 @@ def test_trace_overhead_under_gate(benchmark, report):
                 f"    {label:12s}: {times[mode] / 1e3:9.1f} ms  "
                 f"({overhead[mode] * 100:+5.1f}%)"
             )
+        # Sanitizer modes come from their own interleave and compare
+        # against its re-timed default-run baseline.
+        san_times = san_results[config]
+        for mode, label in (("san_off", "san disabled"), ("san_on", "san enabled")):
+            overhead[mode] = san_times[mode] / san_times["bus"] - 1.0
+            worst[mode] = max(worst[mode], overhead[mode])
+            report.add(
+                f"    {label:12s}: {san_times[mode] / 1e3:9.1f} ms  "
+                f"({overhead[mode] * 100:+5.1f}% vs bus)"
+            )
         payload["modes"][config] = {
             "times_us": {k: round(v, 1) for k, v in times.items()},
+            "sanitizer_times_us": {k: round(v, 1) for k, v in san_times.items()},
             "overhead": {k: round(v, 4) for k, v in overhead.items()},
             "n_events": n_events,
         }
@@ -125,3 +172,9 @@ def test_trace_overhead_under_gate(benchmark, report):
     # The opt-in JSONL diagnostic must not regress past its ceiling
     # (the original dict-based json.dumps encoder sat at ~27%).
     assert worst["sink"] < SINK_CEILING, f"JSONL sink overhead {worst['sink']:.1%}"
+    # An attached-but-disabled sanitizer is the cost every checkpoint
+    # site pays unconditionally; it must stay in the noise.
+    assert worst["san_off"] < SAN_GATE, f"disabled sanitizer overhead {worst['san_off']:.1%}"
+    # The enabled sweep is the opt-in diagnostic tier; bound it against
+    # regression so a checker can't quietly go quadratic.
+    assert worst["san_on"] < SAN_CEILING, f"enabled sanitizer overhead {worst['san_on']:.1%}"

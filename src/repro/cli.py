@@ -48,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from pathlib import Path
 
@@ -120,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--faults", metavar="PLAN", help="inject this fault plan (TOML/JSON file)"
     )
+    p_run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the SimSanitizer invariant checks at every epoch boundary "
+        "(also enabled by DAOS_SANITIZE=1)",
+    )
 
     p_schemes = sub.add_parser("schemes", help="run with a custom scheme file")
     p_schemes.add_argument("workload")
@@ -186,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-point wall-clock timeout (pool mode only)",
     )
+    p_sweep.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every point under the SimSanitizer invariant checks "
+        "(also enabled by DAOS_SANITIZE=1)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run under the trace bus; stream canonical JSONL events"
@@ -226,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--trace", metavar="FILE", help="write the run's trace-event JSONL here"
     )
+    p_chaos.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="cross-check the run's invariants while the faults fire "
+        "(also enabled by DAOS_SANITIZE=1)",
+    )
 
     p_perf = sub.add_parser(
         "perf", help="profile one run; emit a per-layer JSON cost breakdown"
@@ -244,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="python files or trees to lint (default: the repro package, "
         "unless only --schemes is given)",
+    )
+    p_lint.add_argument(
+        "--paths",
+        action="append",
+        default=[],
+        dest="extra_paths",
+        metavar="PATH",
+        help="additional python files or trees to lint (repeatable; "
+        "Makefile targets use this to cover benchmarks/ and tests/)",
     )
     p_lint.add_argument(
         "--schemes",
@@ -366,6 +394,7 @@ def _cmd_run(args) -> int:
             time_scale=args.time_scale,
             trace=bus,
             faults=plan,
+            sanitize=True if args.sanitize else None,
         )
     finally:
         if sink is not None:
@@ -548,6 +577,8 @@ def _cmd_sweep(args) -> int:
         sys.stderr.flush()
 
     plan = load_fault_plan(args.faults) if args.faults else None
+    from .sanitize import default_enabled
+
     runner = SweepRunner(
         grid,
         jobs=args.jobs,
@@ -556,6 +587,7 @@ def _cmd_sweep(args) -> int:
         retries=args.retries,
         point_timeout_s=args.point_timeout,
         faults=plan,
+        sanitize=args.sanitize or default_enabled(),
     )
     report = runner.run()
     sys.stderr.write("\n")
@@ -651,6 +683,7 @@ def _cmd_chaos(args) -> int:
             time_scale=args.time_scale,
             trace=bus,
             faults=plan,
+            sanitize=True if args.sanitize else None,
         )
     finally:
         if sink is not None:
@@ -697,7 +730,7 @@ def _cmd_lint(args) -> int:
         _, scheme_diags = analyze_scheme_text(text, file=scheme_file)
         diagnostics.extend(scheme_diags)
 
-    paths = list(args.paths)
+    paths = list(args.paths) + list(args.extra_paths)
     if not paths and not args.schemes:
         # Default target: the installed repro package itself.
         paths = [Path(__file__).resolve().parent]
@@ -743,6 +776,12 @@ _COMMANDS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # The CLI is the environment boundary (DT204): translate the ambient
+    # switch into the sanitize module's process default exactly once.
+    if os.environ.get("DAOS_SANITIZE") == "1":
+        from .sanitize import set_default_enabled
+
+        set_default_enabled(True)
     try:
         return _COMMANDS[args.command](args)
     except DaosError as exc:

@@ -6,6 +6,8 @@ callers can catch library failures without catching unrelated bugs.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class DaosError(Exception):
     """Base class for all errors raised by this library."""
@@ -46,6 +48,17 @@ class FaultError(DaosError):
     recovery paths have a typed exception to catch) and *about* it when
     a plan file is malformed.
     """
+
+
+class SanitizerError(DaosError):
+    """A SimSanitizer runtime check found simulation state violating a
+    cross-layer invariant (frame conservation, counter coherence, region
+    tiling, …).  Carries the structured violations on ``.violations``."""
+
+    def __init__(self, message: str, violations: Iterable[object] = ()) -> None:
+        super().__init__(message)
+        #: The :class:`repro.sanitize.Violation` records behind the message.
+        self.violations = list(violations)
 
 
 class SweepError(DaosError):

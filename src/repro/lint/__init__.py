@@ -17,6 +17,7 @@ syntax.
 """
 
 from .astlint import LintConfig, lint_file, lint_paths, lint_source
+from .dataflow import DataflowConfig, dataflow_source
 from .baseline import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
@@ -42,6 +43,8 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "LintConfig",
+    "DataflowConfig",
+    "dataflow_source",
     "analyze_schemes",
     "analyze_scheme_text",
     "check_schemes",

@@ -47,13 +47,20 @@ __all__ = ["LintConfig", "lint_source", "lint_file", "lint_paths"]
 
 @dataclass(frozen=True)
 class LintConfig:
-    """Knobs of the determinism pass."""
+    """Knobs of the determinism and dataflow passes."""
 
     #: Basenames allowed to read the environment (DT204).
     env_allowed_files: Tuple[str, ...] = ("cli.py", "conftest.py")
     #: A path containing one of these parts feeds sweep fingerprints:
-    #: DT205 escalates from warning to error there.
+    #: DT205 (and DF320) escalate from warning to error there.
     fingerprint_parts: Tuple[str, ...] = ("sweep",)
+    #: Methods allowed to store ndarray slice views on ``self`` (DF302):
+    #: the flat-table design's sanctioned write-through rebinding points.
+    bind_methods: Tuple[str, ...] = ("_bind", "__init__", "__post_init__")
+    #: Files whose basename starts with one of these prefixes are frozen
+    #: differential oracles (pre-refactor code kept verbatim for
+    #: comparison benchmarks); both AST passes skip them entirely.
+    legacy_file_prefixes: Tuple[str, ...] = ("_legacy_",)
 
 
 #: Resolved dotted call targets that read a wall clock.
@@ -186,7 +193,7 @@ def _annotation_requires_value(annotation: Optional[ast.AST]) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, filename: str, config: LintConfig):
+    def __init__(self, filename: str, config: LintConfig) -> None:
         self.filename = filename
         self.config = config
         self.imports = _ImportTable()
@@ -409,8 +416,12 @@ def _apply_suppressions(
 def lint_source(
     source: str, filename: str, config: Optional[LintConfig] = None
 ) -> List[Diagnostic]:
-    """Lint one module's source text; suppression comments applied."""
+    """Lint one module's source text — both the determinism (DT2xx) and
+    the dataflow (DF3xx) pass; suppression comments applied to the
+    combined findings.  Frozen ``_legacy_*`` oracles are skipped."""
     config = config if config is not None else LintConfig()
+    if Path(filename).name.startswith(tuple(config.legacy_file_prefixes)):
+        return []
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
@@ -427,7 +438,22 @@ def lint_source(
         ]
     visitor = _Visitor(filename, config)
     visitor.visit(tree)
-    return _apply_suppressions(visitor.diagnostics, source.splitlines())
+    diagnostics = list(visitor.diagnostics)
+    # Pass 3 shares the tree walk conceptually but keeps its own visitor
+    # (module: repro.lint.dataflow); findings merge into one report.
+    from .dataflow import DataflowConfig, dataflow_source
+
+    diagnostics.extend(
+        dataflow_source(
+            source,
+            filename,
+            DataflowConfig(
+                bind_methods=config.bind_methods,
+                fingerprint_parts=config.fingerprint_parts,
+            ),
+        )
+    )
+    return _apply_suppressions(diagnostics, source.splitlines())
 
 
 def lint_file(

@@ -14,6 +14,7 @@ Range     Pass
 ========  ==========================================================
 DS1xx     Scheme semantic analysis (DAOS Schemes)
 DT2xx     Determinism AST lint (DAOS deTerminism)
+DF3xx     Vectorized-state dataflow lint (DAOS dataFlow)
 ========  ==========================================================
 
 The full table lives in :data:`CODES` (and DESIGN.md §9).  Reporters:
@@ -91,6 +92,12 @@ CODES: Dict[str, tuple] = {
     "DT205": (Severity.ERROR, "iteration over an unordered set"),
     "DT206": (Severity.ERROR, "mutable default argument"),
     "DT207": (Severity.WARNING, "None default with non-Optional annotation"),
+    # --- vectorized-state dataflow lint (pass 3) -----------------------
+    "DF301": (Severity.ERROR, "column rebound without a generation bump"),
+    "DF302": (Severity.ERROR, "ndarray slice view stored across method boundaries"),
+    "DF303": (Severity.ERROR, "in-place op on aliasing slices of one array"),
+    "DF310": (Severity.ERROR, "unit-confused arithmetic between suffixed names"),
+    "DF320": (Severity.WARNING, "function mutates a module global (spawn hazard)"),
 }
 
 
@@ -195,7 +202,7 @@ def summarize(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
     return counts
 
 
-def _sort_key(diag: Diagnostic):
+def _sort_key(diag: Diagnostic) -> tuple:
     return (
         diag.file or "",
         diag.line if diag.line is not None else 0,

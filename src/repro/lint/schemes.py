@@ -31,6 +31,7 @@ sweep pre-flight call.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -403,7 +404,7 @@ def check_schemes(
     attrs: Optional[MonitorAttrs] = None,
     *,
     context: str = "schemes",
-    logger=None,
+    logger: Optional[logging.Logger] = None,
 ) -> List[Diagnostic]:
     """Fail-fast gate for executors (the experiment runner, the sweep
     pre-flight, the engine's ``validate`` shim).

@@ -69,6 +69,9 @@ class DataAccessMonitor:
         #: Optional :class:`repro.faults.FaultInjector` shared with the
         #: run; the sampler consults it for dropped ticks and flaky bits.
         self.faults = faults
+        #: Optional :class:`repro.sanitize.SimSanitizer`, attached by the
+        #: experiment driver after construction (legacy-oracle-safe).
+        self.sanitizer = None
         self.rng = np.random.default_rng(seed)
         self.callbacks: List[Callable[[Snapshot], None]] = []
         self.raw_callbacks: List = []
@@ -334,6 +337,8 @@ class DataAccessMonitor:
         # exactly attrs.max_nr_accesses.
         self._reset_sampling_state(now)
         self.total_aggregations += 1
+        if self.sanitizer is not None:
+            self.sanitizer.checkpoint_monitor(self, now)
 
     def snapshot(self, now: int) -> Snapshot:
         """Freeze the current region state for callbacks/analysis."""

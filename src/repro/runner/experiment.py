@@ -103,6 +103,7 @@ def run_experiment(
     faults: Optional[FaultPlan] = None,
     oom_policy: Optional[str] = None,
     kernel_cls: type = SimKernel,
+    sanitize=None,
 ) -> RunResult:
     """Run one experiment and return its raw measurements.
 
@@ -130,6 +131,14 @@ def run_experiment(
     monitor and engine, and the kernel's ``oom_policy`` defaults to
     ``"shed"`` so injected swap exhaustion degrades the run instead of
     aborting it.  Pass ``oom_policy`` explicitly to override either way.
+
+    ``sanitize`` turns the :class:`~repro.sanitize.SimSanitizer` runtime
+    checks on (``True``), off (``False``), follows the process default
+    set at the CLI boundary (``None``), or uses a caller-supplied
+    :class:`~repro.sanitize.SimSanitizer` instance directly (the
+    overhead benchmark attaches a *disabled* one this way).  Checkers
+    are read-only and consume no RNG, so results are byte-identical
+    either way.
     """
     wall_start = time.perf_counter()
     spec = get_workload(workload) if isinstance(workload, str) else workload
@@ -145,6 +154,14 @@ def run_experiment(
     if oom_policy is None:
         oom_policy = "shed" if faults is not None else "raise"
 
+    from ..sanitize import SimSanitizer, default_enabled
+
+    if isinstance(sanitize, SimSanitizer):
+        sanitizer = sanitize
+    else:
+        enabled = default_enabled() if sanitize is None else bool(sanitize)
+        sanitizer = SimSanitizer(enabled=True) if enabled else None
+
     kernel = kernel_cls(
         guest,
         swap=_build_swap(swap, host),
@@ -155,6 +172,10 @@ def run_experiment(
         faults=injector,
         oom_policy=oom_policy,
     )
+    if sanitizer is not None:
+        # Attribute attachment, not a constructor kwarg: kernel_cls may
+        # be the frozen legacy oracle, whose signature must not change.
+        kernel.sanitizer = sanitizer
     queue = EventQueue()
     if trace is not None:
         trace.bind_clock(queue.clock)
@@ -219,7 +240,14 @@ def run_experiment(
             )
             engine = SchemesEngine(kernel, schemes, trace=trace, faults=injector)
             monitor.attach_engine(engine)
+        if sanitizer is not None:
+            monitor.sanitizer = sanitizer
         monitor.start(queue)
+    if sanitizer is not None:
+        if engine is not None:
+            sanitizer.attach_engine(engine)
+        if trace is not None:
+            sanitizer.subscribe(trace, kernel=kernel, monitor=monitor)
 
     # --- khugepaged (thp=always only) --------------------------------------
     if cfg.thp_mode == "always":

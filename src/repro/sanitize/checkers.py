@@ -1,0 +1,345 @@
+"""Pure invariant checkers over live simulation state.
+
+Each checker takes the relevant layer object (kernel, monitor, engine),
+inspects it **read-only**, and returns a list of :class:`Violation`
+records — empty when the invariant holds.  They are the runtime
+counterparts of the assertions in ``tests/test_properties_kernel.py``
+and ``tests/test_properties_layout.py``: the property tests exercise
+them under synthetic storms, the sanitizer runs them inside real
+experiments at epoch boundaries.
+
+Purity contract
+---------------
+
+Checkers never mutate simulation state and never consume RNG.  The one
+deliberate exception is :func:`check_quota_sanity`, which calls
+``Quota.remaining(now)`` — that rolls the quota window forward, which is
+idempotent at a fixed ``now`` and is exactly what the engine's next
+apply pass would do first; byte-identity of run results is preserved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+from ..errors import MonitorStateError
+
+__all__ = [
+    "Violation",
+    "digest_kernel_state",
+    "digest_region_state",
+    "check_frame_conservation",
+    "check_present_swapped",
+    "check_counter_coherence",
+    "check_huge_residency",
+    "check_region_state",
+    "check_quota_sanity",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found by a checker.
+
+    ``digest`` is a short content hash of the offending layer's state at
+    detection time, so two reports can be compared across runs (same
+    digest = the corruption happened identically, a reproducible bug;
+    different digests under one seed = nondeterminism on top).
+    """
+
+    #: Stable checker name (``frame_conservation``, ``region_tiling``, …).
+    check: str
+    #: Human-readable description with the observed vs. expected values.
+    message: str
+    #: Simulation time at the checkpoint that caught it.
+    time_us: int
+    #: 12-hex-digit state digest of the checked layer.
+    digest: str
+    #: Epoch ordinal at the kernel checkpoint, when known.
+    epoch: Optional[int] = field(default=None)
+
+    def __str__(self) -> str:
+        where = f" (epoch {self.epoch})" if self.epoch is not None else ""
+        return f"[{self.check}]{where} t={self.time_us}us {self.message} digest={self.digest}"
+
+
+def digest_kernel_state(kernel: Any) -> str:
+    """Content hash of the kernel's authoritative page/frame state."""
+    flat = kernel.space.flat
+    h = hashlib.sha256()
+    for column in (
+        flat.present,
+        flat.swapped,
+        flat.dirty,
+        flat.frame,
+        flat.last_touch,
+        flat.chunk_huge,
+    ):
+        h.update(column.tobytes())
+    h.update(int(kernel.frames.allocated).to_bytes(8, "little", signed=True))
+    h.update(int(kernel.swap.used_pages).to_bytes(8, "little", signed=True))
+    return h.hexdigest()[:12]
+
+
+def digest_region_state(monitor: Any) -> str:
+    """Content hash of the monitor's region table."""
+    ra = monitor._ra
+    h = hashlib.sha256()
+    for column in (ra.start, ra.end, ra.nr_accesses, ra.age):
+        h.update(np.ascontiguousarray(column).tobytes())
+    return h.hexdigest()[:12]
+
+
+def _kernel_violation(
+    kernel: Any, check: str, message: str, now: int
+) -> Violation:
+    return Violation(
+        check=check, message=message, time_us=int(now), digest=digest_kernel_state(kernel)
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel-layer checkers
+# ----------------------------------------------------------------------
+def check_frame_conservation(kernel: Any, now: int) -> List[Violation]:
+    """Frames are conserved and the rmap is coherent.
+
+    * ``allocated + free == total``;
+    * the allocator's live set is exactly the present-and-framed pages;
+    * every owned frame's rmap entry points back at a present page whose
+      ``frame`` column names that frame.
+    """
+    out: List[Violation] = []
+    frames = kernel.frames
+    if frames.allocated + frames.free_frames() != frames.n_frames:
+        out.append(
+            _kernel_violation(
+                kernel,
+                "frame_conservation",
+                f"allocated ({frames.allocated}) + free ({frames.free_frames()}) "
+                f"!= total frames ({frames.n_frames})",
+                now,
+            )
+        )
+    live = frames.allocated_frames()
+    if live.size != frames.allocated:
+        out.append(
+            _kernel_violation(
+                kernel,
+                "frame_conservation",
+                f"free-stack live set has {live.size} frames but the "
+                f"allocated counter says {frames.allocated}",
+                now,
+            )
+        )
+        # The counter and the stack disagree; the rmap cross-checks
+        # below would only repeat the same corruption.
+        return out
+    if live.size and (frames.owner_vma[live] < 0).any():
+        n_orphans = int(np.count_nonzero(frames.owner_vma[live] < 0))
+        out.append(
+            _kernel_violation(
+                kernel,
+                "frame_conservation",
+                f"{n_orphans} live frame(s) have no rmap owner",
+                now,
+            )
+        )
+        return out
+
+    flat = kernel.space.flat
+    framed = flat.present & (flat.frame >= 0)
+    n_framed = int(np.count_nonzero(framed))
+    if n_framed != frames.allocated:
+        out.append(
+            _kernel_violation(
+                kernel,
+                "frame_conservation",
+                f"{n_framed} present-and-framed page(s) vs "
+                f"{frames.allocated} allocated frame(s)",
+                now,
+            )
+        )
+    if live.size:
+        seg = kernel._ordinal_segments()[frames.owner_vma[live]]
+        if (seg < 0).any():
+            n_stale = int(np.count_nonzero(seg < 0))
+            out.append(
+                _kernel_violation(
+                    kernel,
+                    "frame_conservation",
+                    f"{n_stale} frame(s) owned by an unmapped VMA",
+                    now,
+                )
+            )
+        else:
+            back = flat.page_offset[seg] + frames.owner_page[live]
+            if not np.array_equal(np.sort(flat.frame[back]), np.sort(live)):
+                out.append(
+                    _kernel_violation(
+                        kernel,
+                        "frame_conservation",
+                        "rmap back-pointers do not round-trip: the frame "
+                        "set reached via owner_vma/owner_page differs from "
+                        "the live frame set",
+                        now,
+                    )
+                )
+    return out
+
+
+def check_present_swapped(kernel: Any, now: int) -> List[Violation]:
+    """No page is present and swapped at once, and the swap device's
+    usage counter equals the swapped page count."""
+    out: List[Violation] = []
+    flat = kernel.space.flat
+    both = flat.present & flat.swapped
+    if both.any():
+        out.append(
+            _kernel_violation(
+                kernel,
+                "present_swapped_exclusivity",
+                f"{int(np.count_nonzero(both))} page(s) are present and "
+                "swapped simultaneously",
+                now,
+            )
+        )
+    swapped = int(np.count_nonzero(flat.swapped))
+    if swapped != kernel.swap.used_pages:
+        out.append(
+            _kernel_violation(
+                kernel,
+                "present_swapped_exclusivity",
+                f"{swapped} swapped page(s) in the page tables vs "
+                f"swap.used_pages == {kernel.swap.used_pages}",
+                now,
+            )
+        )
+    return out
+
+
+def check_counter_coherence(kernel: Any, now: int) -> List[Violation]:
+    """Every VMA's O(1) resident/swapped counters equal a fresh count of
+    the underlying columns."""
+    out: List[Violation] = []
+    for vma in kernel.space.vmas:
+        pt = vma.pages
+        resident = int(np.count_nonzero(pt.present))
+        if pt.resident_pages() != resident:
+            out.append(
+                _kernel_violation(
+                    kernel,
+                    "counter_coherence",
+                    f"VMA@{vma.start:#x}: resident_pages() == "
+                    f"{pt.resident_pages()} but {resident} page(s) are present",
+                    now,
+                )
+            )
+        swapped = int(np.count_nonzero(pt.swapped))
+        if pt.swapped_pages() != swapped:
+            out.append(
+                _kernel_violation(
+                    kernel,
+                    "counter_coherence",
+                    f"VMA@{vma.start:#x}: swapped_pages() == "
+                    f"{pt.swapped_pages()} but {swapped} page(s) are swapped",
+                    now,
+                )
+            )
+    return out
+
+
+def check_huge_residency(kernel: Any, now: int) -> List[Violation]:
+    """Huge-mapped chunks are fully resident (every subpage present)."""
+    from ..sim.pagetable import PAGES_PER_HUGE
+
+    flat = kernel.space.flat
+    if not flat.n_chunks or not flat.chunk_huge.any():
+        return []
+    counts = flat.chunk_present_counts()
+    partial = flat.chunk_huge & (counts != PAGES_PER_HUGE)
+    if not partial.any():
+        return []
+    return [
+        _kernel_violation(
+            kernel,
+            "huge_residency",
+            f"{int(np.count_nonzero(partial))} huge chunk(s) are not fully "
+            f"resident (expected {PAGES_PER_HUGE} present subpages each)",
+            now,
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Monitor-layer checker
+# ----------------------------------------------------------------------
+def check_region_state(monitor: Any, now: int) -> List[Violation]:
+    """The region table's structural invariants hold: regions are
+    well-formed, at least ``MIN_REGION_SIZE``, non-overlapping, and —
+    when the layout is stable — tile the target ranges byte for byte.
+    Also cross-checks the view cache against the backing array."""
+    out: List[Violation] = []
+    try:
+        monitor.check_invariants()
+    except MonitorStateError as exc:
+        out.append(
+            Violation(
+                check="region_tiling",
+                message=str(exc),
+                time_us=int(now),
+                digest=digest_region_state(monitor),
+            )
+        )
+    views = monitor._views
+    if views is not None and monitor._views_generation == monitor._ra.generation:
+        if len(views) != monitor._ra.n:
+            out.append(
+                Violation(
+                    check="region_views",
+                    message=(
+                        f"view cache holds {len(views)} region(s) but the "
+                        f"backing array has {monitor._ra.n} at the same "
+                        "generation"
+                    ),
+                    time_us=int(now),
+                    digest=digest_region_state(monitor),
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Engine-layer checker
+# ----------------------------------------------------------------------
+def check_quota_sanity(engine: Any, now: int) -> List[Violation]:
+    """Every limited quota's charge sits inside ``[0, size_bytes]``.
+
+    The engine clamps each apply batch to the remaining budget, so a
+    charge past the window's budget (or below zero) means the clamp or
+    the window roll went wrong.
+    """
+    out: List[Violation] = []
+    for index, scheme in enumerate(engine.schemes):
+        quota = scheme.quota
+        if quota is None or not quota.limited:
+            continue
+        charged = quota._charged
+        if 0 <= charged <= quota.size_bytes:
+            continue
+        out.append(
+            Violation(
+                check="quota_sanity",
+                message=(
+                    f"scheme #{index}: quota charged {charged} byte(s), "
+                    f"outside [0, {quota.size_bytes}]"
+                ),
+                time_us=int(now),
+                digest=f"{charged & 0xFFFFFFFFFFFF:012x}",
+            )
+        )
+    return out

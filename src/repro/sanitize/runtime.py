@@ -1,0 +1,225 @@
+"""The SimSanitizer runtime: checkpoints, the EpochEnd hook, reporting.
+
+:class:`SimSanitizer` is attached to a kernel and monitor *after*
+construction (``kernel.sanitizer = sanitizer``) so the frozen legacy
+oracles — which share the constructors — never see a new keyword.  The
+layers call back at their natural barriers:
+
+* ``SimKernel.end_epoch`` → :meth:`SimSanitizer.checkpoint_kernel`
+  (frame conservation, exclusivity, counters, huge residency; quota
+  when no trace bus carries the EpochEnd hook);
+* ``DataAccessMonitor.aggregate_tick`` →
+  :meth:`SimSanitizer.checkpoint_monitor` (region tiling + view cache);
+* a :class:`~repro.trace.events.EpochEnd` bus subscription
+  (:meth:`SimSanitizer.subscribe`) → cross-layer checks at the epoch
+  boundary, **record-only**: the bus detaches subscribers that raise,
+  so the hook never raises — the direct kernel checkpoint, which runs
+  immediately after the emit in the same ``end_epoch`` call, flushes
+  anything the hook recorded as a :class:`~repro.errors.SanitizerError`.
+
+A disabled sanitizer (``enabled=False``) costs one attribute read and
+one ``if`` per checkpoint — the overhead budget the trace benchmark
+gates at under 2%.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..errors import SanitizerError
+from .checkers import (
+    Violation,
+    check_counter_coherence,
+    check_frame_conservation,
+    check_huge_residency,
+    check_present_swapped,
+    check_quota_sanity,
+    check_region_state,
+)
+
+__all__ = ["SimSanitizer", "default_enabled", "set_default_enabled"]
+
+#: Process-wide default for runs that do not pass ``sanitize=`` —
+#: flipped only at the CLI/conftest boundary (``--sanitize``,
+#: ``DAOS_SANITIZE=1``) and by sweep workers at pool initialisation.
+_DEFAULT_ENABLED = False
+
+
+def default_enabled() -> bool:
+    """Whether new runs sanitize by default (see :func:`set_default_enabled`)."""
+    return _DEFAULT_ENABLED
+
+
+def set_default_enabled(value: bool) -> None:
+    """Set the process-wide sanitize default.
+
+    Environment reads stay at the CLI boundary (the DT204 rule): the CLI
+    and the test conftest translate ``DAOS_SANITIZE`` / ``--sanitize``
+    into one call here, and sweep pool workers inherit the parent's
+    choice through their initializer.
+    """
+    global _DEFAULT_ENABLED  # daos-lint: disable=DF320
+    _DEFAULT_ENABLED = bool(value)
+
+
+class SimSanitizer:
+    """Runtime invariant harness for one experiment run.
+
+    Parameters
+    ----------
+    enabled:
+        When False every checkpoint returns immediately; the object can
+        stay attached (the trace-overhead benchmark measures exactly
+        this configuration).
+    raise_on_violation:
+        When True (the default) a direct checkpoint that finds — or
+        flushes previously recorded — violations raises
+        :class:`SanitizerError`.  Tests set it False to drive the
+        checkers over deliberately corrupted state and inspect
+        :attr:`violations` instead.
+    """
+
+    def __init__(self, enabled: bool = True, *, raise_on_violation: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.raise_on_violation = bool(raise_on_violation)
+        #: Every violation recorded so far, in detection order.
+        self.violations: List[Violation] = []
+        #: Kernel checkpoints passed (== epochs checked on the run path).
+        self.epochs_checked = 0
+        #: Monitor checkpoints passed (aggregation ticks).
+        self.monitor_checkpoints = 0
+        self._engine: Optional[Any] = None
+        self._hooked_kernel: Optional[Any] = None
+        self._hooked_monitor: Optional[Any] = None
+        self._subscribed = False
+        self._unflushed = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine: Any) -> None:
+        """Register the schemes engine for quota sanity checks."""
+        self._engine = engine
+
+    def subscribe(
+        self, bus: Any, *, kernel: Optional[Any] = None, monitor: Optional[Any] = None
+    ) -> None:
+        """Subscribe the cross-layer EpochEnd hook on ``bus``.
+
+        The hook records violations but never raises (the bus would
+        detach a raising subscriber); the kernel checkpoint that follows
+        the emit in ``end_epoch`` raises them.
+        """
+        from ..trace.events import EpochEnd
+
+        self._hooked_kernel = kernel
+        self._hooked_monitor = monitor
+        bus.subscribe(EpochEnd, self._on_epoch_end)
+        self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_kernel(self, kernel: Any, now: int) -> None:
+        """Run the kernel-layer checks; called from ``end_epoch``."""
+        if not self.enabled:
+            return
+        found: List[Violation] = []
+        found += check_frame_conservation(kernel, now)
+        found += check_present_swapped(kernel, now)
+        found += check_counter_coherence(kernel, now)
+        found += check_huge_residency(kernel, now)
+        if self._engine is not None and not self._subscribed:
+            found += check_quota_sanity(self._engine, now)
+        epoch = self.epochs_checked
+        self.epochs_checked += 1
+        self._record(found, epoch=epoch)
+        self._flush(now)
+
+    def checkpoint_monitor(self, monitor: Any, now: int) -> None:
+        """Run the monitor-layer checks; called from ``aggregate_tick``."""
+        if not self.enabled:
+            return
+        found = check_region_state(monitor, now)
+        self.monitor_checkpoints += 1
+        self._record(found)
+        self._flush(now)
+
+    def check_all(
+        self,
+        *,
+        kernel: Optional[Any] = None,
+        monitor: Optional[Any] = None,
+        engine: Optional[Any] = None,
+        now: int = 0,
+    ) -> List[Violation]:
+        """One explicit cross-layer pass (record-only); returns what it
+        found.  Tests and post-mortems call this directly."""
+        if not self.enabled:
+            return []
+        found: List[Violation] = []
+        if kernel is not None:
+            found += check_frame_conservation(kernel, now)
+            found += check_present_swapped(kernel, now)
+            found += check_counter_coherence(kernel, now)
+            found += check_huge_residency(kernel, now)
+        if monitor is not None:
+            found += check_region_state(monitor, now)
+        if engine is not None:
+            found += check_quota_sanity(engine, now)
+        self._record(found)
+        return found
+
+    # ------------------------------------------------------------------
+    # EpochEnd hook (record-only: see class docstring)
+    # ------------------------------------------------------------------
+    def _on_epoch_end(self, event: Any) -> None:
+        if not self.enabled:
+            return
+        now = int(getattr(event, "epoch_end_us", event.time_us))
+        found: List[Violation] = []
+        if self._engine is not None:
+            found += check_quota_sanity(self._engine, now)
+        if self._hooked_monitor is not None:
+            found += check_region_state(self._hooked_monitor, now)
+        self._record(found, epoch=self.epochs_checked)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _record(self, found: List[Violation], epoch: Optional[int] = None) -> None:
+        if not found:
+            return
+        if epoch is not None:
+            found = [
+                Violation(
+                    check=v.check,
+                    message=v.message,
+                    time_us=v.time_us,
+                    digest=v.digest,
+                    epoch=epoch,
+                )
+                for v in found
+            ]
+        self.violations.extend(found)
+        self._unflushed = True
+
+    def _flush(self, now: int) -> None:
+        if not self.raise_on_violation or not self._unflushed:
+            return
+        self._unflushed = False
+        lines = "\n  ".join(str(v) for v in self.violations)
+        raise SanitizerError(
+            f"sanitizer found {len(self.violations)} invariant violation(s) "
+            f"by t={int(now)}us:\n  {lines}",
+            violations=self.violations,
+        )
+
+    def summary(self) -> str:
+        """One-line status for reports and logs."""
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"sanitizer {state}: {self.epochs_checked} epoch checkpoint(s), "
+            f"{self.monitor_checkpoints} monitor checkpoint(s), "
+            f"{len(self.violations)} violation(s)"
+        )

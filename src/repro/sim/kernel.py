@@ -100,6 +100,10 @@ class SimKernel:
         self.trace = trace
         #: Optional :class:`repro.faults.FaultInjector` shared with the run.
         self.faults = faults
+        #: Optional :class:`repro.sanitize.SimSanitizer`, attached by the
+        #: experiment driver *after* construction (the frozen legacy
+        #: kernel shares this constructor, so no new keyword).
+        self.sanitizer = None
         #: ``"raise"`` aborts with :class:`SwapFullError` when an
         #: allocation cannot be backed; ``"shed"`` grants what fits,
         #: reverts the rest of the batch, and enters degraded mode.
@@ -295,6 +299,11 @@ class SimKernel:
                 )
             else:
                 tr.count(EpochEnd)
+        # After the emit: the EpochEnd bus hook records cross-layer
+        # findings, and this checkpoint raises them together with its
+        # own (the bus never lets a subscriber raise).
+        if self.sanitizer is not None:
+            self.sanitizer.checkpoint_kernel(self, now)
 
     def sample_memory(self, now: int) -> None:
         """Record an RSS/system-memory sample on the metrics timeline."""

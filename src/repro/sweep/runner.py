@@ -65,6 +65,16 @@ def _execute_payload(payload: Tuple[int, str, tuple, bool]) -> RawResult:
         return index, None, error, type(exc).__name__, tb, time.perf_counter() - start
 
 
+def _init_worker(sanitize: bool) -> None:
+    """Pool-worker initializer: spawn workers import a clean interpreter,
+    so the parent's sanitize default must be re-established explicitly.
+    Sanitizer checks are read-only and RNG-free — point values (and so
+    cache keys) are identical either way."""
+    from ..sanitize import set_default_enabled
+
+    set_default_enabled(sanitize)
+
+
 @dataclass
 class SweepOutcome:
     """One point's result (or failure) within a sweep."""
@@ -192,6 +202,7 @@ class SweepRunner:
         retries: int = 1,
         point_timeout_s: Optional[float] = None,
         faults=None,
+        sanitize: bool = False,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be at least 1: {jobs}")
@@ -206,6 +217,8 @@ class SweepRunner:
         self.start_method = start_method
         self.retries = retries
         self.point_timeout_s = point_timeout_s
+        #: Run every point under the SimSanitizer invariant checks.
+        self.sanitize = bool(sanitize)
         self._fault_seed = 0
         self._crash_probs: List[float] = []
         if faults is not None:
@@ -331,14 +344,21 @@ class SweepRunner:
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                for index in pending:
-                    attempt = 0
-                    while True:
-                        raw = _execute_payload(make_payload(index, attempt))
-                        if raw[2] is None or attempt >= self.retries:
-                            break
-                        attempt += 1
-                    handle(raw, attempts=attempt + 1)
+                from ..sanitize import default_enabled, set_default_enabled
+
+                previous = default_enabled()
+                set_default_enabled(previous or self.sanitize)
+                try:
+                    for index in pending:
+                        attempt = 0
+                        while True:
+                            raw = _execute_payload(make_payload(index, attempt))
+                            if raw[2] is None or attempt >= self.retries:
+                                break
+                            attempt += 1
+                        handle(raw, attempts=attempt + 1)
+                finally:
+                    set_default_enabled(previous)
             else:
                 self._run_pool(pending, make_payload, handle)
 
@@ -363,7 +383,9 @@ class SweepRunner:
         context = multiprocessing.get_context(self.start_method)
         workers = min(self.jobs, len(pending))
         timeout = self.point_timeout_s
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(self.sanitize,)
+        ) as pool:
             inflight: Dict[int, Tuple[Any, int, Optional[float]]] = {}
 
             def submit(index: int, attempt: int) -> None:

@@ -87,7 +87,7 @@ class FieldSum:
     events) without per-event allocation.
     """
 
-    def __init__(self, field_name: str):
+    def __init__(self, field_name: str) -> None:
         self.field_name = field_name
         self.n_values = 0
         self.total = 0.0
@@ -117,7 +117,7 @@ class FieldHistogram:
     size distributions.
     """
 
-    def __init__(self, field_name: str):
+    def __init__(self, field_name: str) -> None:
         self.field_name = field_name
         self.buckets: Dict[int, int] = {}
         self.n_values = 0

@@ -53,7 +53,7 @@ class TraceBus:
 
     def __init__(
         self, clock: Optional[VirtualClock] = None, *, ring_capacity: int = 1024
-    ):
+    ) -> None:
         if ring_capacity < 0:
             raise ConfigError(f"ring capacity cannot be negative: {ring_capacity}")
         self.clock = clock if clock is not None else VirtualClock()

@@ -18,7 +18,7 @@ import json
 import operator
 import typing
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Type, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Type, Union
 
 from ..errors import ParseError
 from .aggregate import TraceSummary
@@ -50,7 +50,7 @@ def encode_event(event: TraceEvent) -> str:
     return encoder(event)
 
 
-def _compile_encoder(cls: Type[TraceEvent]):
+def _compile_encoder(cls: Type[TraceEvent]) -> Callable[[TraceEvent], str]:
     """Build (and cache on ``cls``) a closure rendering the canonical
     line: key order and scalar formatting are fixed per class, so each
     call only formats the field values.
@@ -85,7 +85,7 @@ def _compile_encoder(cls: Type[TraceEvent]):
                 segments.append((f'{comma}"{name}":', name, types[name]))
         segments = tuple(segments)
 
-        def encode(event: TraceEvent, _dumps=json.dumps) -> str:
+        def encode(event: TraceEvent, _dumps: Callable[[str], str] = json.dumps) -> str:
             parts = ["{"]
             for prefix, attr, scalar in segments:
                 parts.append(prefix)
@@ -172,7 +172,7 @@ class JsonlTraceSink:
     exit) or an already-open text stream (flushed but left open).
     """
 
-    def __init__(self, target: Union[str, Path, TextIO]):
+    def __init__(self, target: Union[str, Path, TextIO]) -> None:
         if isinstance(target, (str, Path)):
             self._stream: TextIO = open(target, "w", encoding="utf-8", newline="\n")
             self._owns_stream = True

@@ -20,6 +20,7 @@ Internally the library uses:
 from __future__ import annotations
 
 import re
+from typing import Dict
 
 from .errors import ParseError
 
@@ -90,7 +91,7 @@ _TIME_SUFFIXES = {
 _NUM_RE = re.compile(r"^([0-9]*\.?[0-9]+)\s*([A-Za-z]*)$")
 
 
-def _parse_with_suffixes(text, suffixes, kind):
+def _parse_with_suffixes(text: object, suffixes: Dict[str, int], kind: str) -> int:
     """Parse ``text`` as ``<number><suffix>`` using the given suffix map."""
     if not isinstance(text, str):
         raise ParseError(f"expected a string for {kind}, got {type(text).__name__}")
@@ -113,7 +114,7 @@ def _parse_with_suffixes(text, suffixes, kind):
     return int(round(value))
 
 
-def parse_size(text):
+def parse_size(text: str) -> int:
     """Parse a byte-size string such as ``"4K"``, ``"2MB"``, ``"1.5GiB"``.
 
     ``"min"`` parses to 0 and ``"max"`` to :data:`UNLIMITED`.
@@ -122,7 +123,7 @@ def parse_size(text):
     return _parse_with_suffixes(text, _SIZE_SUFFIXES, "size")
 
 
-def parse_time(text):
+def parse_time(text: str) -> int:
     """Parse a duration string such as ``"5ms"``, ``"2m"``, ``"100us"``.
 
     Returns microseconds.  A bare number is rejected: durations must carry
@@ -137,7 +138,7 @@ def parse_time(text):
     return _parse_with_suffixes(text, _TIME_SUFFIXES, "time")
 
 
-def parse_percent(text):
+def parse_percent(text: str) -> float:
     """Parse a percentage string such as ``"80%"`` into a float in [0, 1].
 
     ``"min"`` maps to 0.0 and ``"max"`` to 1.0.  Plain numbers without a
@@ -173,14 +174,14 @@ def parse_percent(text):
     return -int(raw) - 1  # encode raw count n as -(n + 1)
 
 
-def decode_raw_count(encoded):
+def decode_raw_count(encoded: float) -> int:
     """Invert the raw-count encoding of :func:`parse_percent`."""
     if encoded >= 0:
         raise ParseError("value is a fraction, not an encoded raw count")
     return -int(encoded) - 1
 
 
-def format_size(nbytes):
+def format_size(nbytes: int) -> str:
     """Render a byte count with the largest exact binary suffix."""
     if nbytes == UNLIMITED:
         return "max"
@@ -198,7 +199,7 @@ def format_size(nbytes):
     return f"{nbytes}B"
 
 
-def format_time(usecs):
+def format_time(usecs: int) -> str:
     """Render a duration in the most natural unit."""
     if usecs == UNLIMITED:
         return "max"

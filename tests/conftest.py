@@ -24,6 +24,15 @@ settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.monitor.attrs import MonitorAttrs
+from repro.sanitize import set_default_enabled
+
+# The conftest is an environment boundary like the CLI (DT204):
+# DAOS_SANITIZE=1 runs the whole suite under the SimSanitizer runtime
+# checks.  The tier-1 suite must pass byte-identically either way —
+# the CI sanitizer job enforces exactly that.
+if os.environ.get("DAOS_SANITIZE") == "1":
+    set_default_enabled(True)
+
 from repro.sim.clock import EventQueue
 from repro.sim.costs import CostModel
 from repro.sim.kernel import SimKernel

@@ -1,0 +1,308 @@
+"""The SimSanitizer runtime: seeded state mutations must be caught.
+
+Each mutation test corrupts one piece of redundant simulation state the
+way a plausible kernel/monitor/engine bug would — a present bit cleared
+without releasing its frame, a drifted O(1) counter, a region-table gap,
+a quota charged past its window — and asserts the matching checker
+reports it.  Clean state yields zero violations, a disabled sanitizer is
+inert, and a sanitized run returns byte-identical results to an
+unsanitized one (the overhead/identity contract the CI sanitizer job
+enforces tree-wide).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import SanitizerError
+from repro.monitor.attrs import MonitorAttrs
+from repro.monitor.core import DataAccessMonitor
+from repro.monitor.primitives import VirtualPrimitive
+from repro.runner.experiment import run_experiment
+from repro.sanitize import SimSanitizer, default_enabled, set_default_enabled
+from repro.schemes.actions import Action
+from repro.schemes.engine import SchemesEngine
+from repro.schemes.quotas import Quota
+from repro.schemes.scheme import AccessPattern, Scheme
+from repro.sim.kernel import SimKernel
+from repro.sim.machine import GuestSpec, get_instance
+from repro.sim.pagetable import PAGES_PER_HUGE
+from repro.sim.swap import ZramDevice
+from repro.sim.thp import ThpPolicy
+from repro.units import MIB, MSEC
+
+BASE = 0x7F00_0000_0000
+EPOCH = 100 * MSEC
+
+
+def worked_kernel():
+    """A kernel with interesting state: resident, swapped, and (after a
+    khugepaged scan) huge-mapped pages."""
+    guest = GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=64 * MIB)
+    kernel = SimKernel(
+        guest,
+        swap=ZramDevice(32 * MIB),
+        thp=ThpPolicy(mode="always"),
+        seed=7,
+        oom_policy="shed",
+    )
+    kernel.mmap(BASE, 32 * MIB)
+    kernel.apply_access(BASE, BASE + 16 * MIB, 0, EPOCH, write_fraction=0.5)
+    kernel.pageout(BASE + 8 * MIB, BASE + 12 * MIB, EPOCH)
+    kernel.khugepaged_scan(EPOCH)
+    kernel.end_epoch(EPOCH, compute_us=70_000)
+    kernel.begin_epoch()
+    return kernel
+
+
+def checks_found(*, kernel=None, monitor=None, engine=None, now=0):
+    """Names of the checks that fired in one explicit sanitizer pass."""
+    sanitizer = SimSanitizer(raise_on_violation=False)
+    found = sanitizer.check_all(kernel=kernel, monitor=monitor, engine=engine, now=now)
+    assert found == sanitizer.violations
+    return {violation.check for violation in found}
+
+
+def started_monitor(kernel, queue=None):
+    attrs = MonitorAttrs(
+        sampling_interval_us=1 * MSEC,
+        aggregation_interval_us=20 * MSEC,
+        regions_update_interval_us=200 * MSEC,
+        min_nr_regions=10,
+        max_nr_regions=200,
+    )
+    monitor = DataAccessMonitor(VirtualPrimitive(kernel), attrs, seed=3)
+    if queue is None:
+        monitor.init_regions()
+    else:
+        monitor.start(queue)
+    return monitor
+
+
+def quota_engine(kernel, size_bytes=MIB):
+    scheme = Scheme(
+        pattern=AccessPattern(),
+        action=Action.PAGEOUT,
+        quota=Quota(size_bytes=size_bytes),
+    )
+    return SchemesEngine(kernel, [scheme]), scheme
+
+
+# ----------------------------------------------------------------------
+# Clean state: zero violations
+# ----------------------------------------------------------------------
+class TestCleanState:
+    def test_worked_kernel_is_clean(self):
+        assert checks_found(kernel=worked_kernel()) == set()
+
+    def test_monitor_and_engine_are_clean(self):
+        kernel = worked_kernel()
+        monitor = started_monitor(kernel)
+        engine, _ = quota_engine(kernel)
+        assert checks_found(kernel=kernel, monitor=monitor, engine=engine) == set()
+
+
+# ----------------------------------------------------------------------
+# Seeded kernel-state mutations
+# ----------------------------------------------------------------------
+class TestKernelMutations:
+    def test_present_cleared_without_frame_release(self):
+        # The buggy-munmap shape: the page vanishes from the page table
+        # but its frame stays allocated.
+        kernel = worked_kernel()
+        flat = kernel.space.flat
+        idx = np.flatnonzero(flat.present & (flat.frame >= 0))[0]
+        flat.present[idx] = False
+        assert "frame_conservation" in checks_found(kernel=kernel)
+
+    def test_present_and_swapped_both_set(self):
+        kernel = worked_kernel()
+        flat = kernel.space.flat
+        idx = np.flatnonzero(flat.present)[0]
+        flat.swapped[idx] = True
+        assert "present_swapped_exclusivity" in checks_found(kernel=kernel)
+
+    def test_swap_usage_counter_drift(self):
+        kernel = worked_kernel()
+        kernel.swap.used_pages += 3
+        assert checks_found(kernel=kernel) == {"present_swapped_exclusivity"}
+
+    def test_allocated_counter_drift(self):
+        kernel = worked_kernel()
+        kernel.frames.allocated += 1
+        assert checks_found(kernel=kernel) == {"frame_conservation"}
+
+    def test_orphaned_frame_owner(self):
+        kernel = worked_kernel()
+        live = kernel.frames.allocated_frames()
+        kernel.frames.owner_vma[live[0]] = -1
+        found = SimSanitizer(raise_on_violation=False).check_all(kernel=kernel)
+        assert any(
+            v.check == "frame_conservation" and "rmap owner" in v.message for v in found
+        )
+
+    def test_page_loses_its_frame(self):
+        kernel = worked_kernel()
+        flat = kernel.space.flat
+        idx = np.flatnonzero(flat.present & (flat.frame >= 0))[0]
+        flat.frame[idx] = -1
+        assert "frame_conservation" in checks_found(kernel=kernel)
+
+    def test_resident_counter_drift(self):
+        kernel = worked_kernel()
+        kernel.space.vmas[0].pages.n_present += 1
+        assert "counter_coherence" in checks_found(kernel=kernel)
+
+    def test_swapped_counter_drift(self):
+        kernel = worked_kernel()
+        kernel.space.vmas[0].pages.n_swapped += 1
+        # The per-VMA counter and the device usage cross-check both see it.
+        assert "counter_coherence" in checks_found(kernel=kernel)
+
+    def test_huge_chunk_not_fully_resident(self):
+        kernel = worked_kernel()
+        flat = kernel.space.flat
+        counts = flat.chunk_present_counts()
+        partial = np.flatnonzero(counts != PAGES_PER_HUGE)
+        assert partial.size, "the worked kernel should have a partial chunk"
+        flat.chunk_huge[partial[0]] = True
+        assert "huge_residency" in checks_found(kernel=kernel)
+
+
+# ----------------------------------------------------------------------
+# Seeded monitor-state mutations
+# ----------------------------------------------------------------------
+class TestMonitorMutations:
+    def test_region_tiling_gap(self):
+        kernel = worked_kernel()
+        monitor = started_monitor(kernel)
+        monitor._ra.end[-1] -= 4096
+        assert "region_tiling" in checks_found(monitor=monitor)
+
+    def test_region_overlap(self):
+        kernel = worked_kernel()
+        monitor = started_monitor(kernel)
+        monitor._ra.start[1] -= 4096
+        assert "region_tiling" in checks_found(monitor=monitor)
+
+    def test_view_cache_desync(self):
+        kernel = worked_kernel()
+        monitor = started_monitor(kernel)
+        views = monitor.regions  # populate the cache at this generation
+        assert views is monitor._views
+        monitor._views.pop()
+        assert "region_views" in checks_found(monitor=monitor)
+
+
+# ----------------------------------------------------------------------
+# Seeded engine-state mutations
+# ----------------------------------------------------------------------
+class TestQuotaMutations:
+    def test_negative_charge(self):
+        kernel = worked_kernel()
+        engine, scheme = quota_engine(kernel)
+        scheme.quota._charged = -5
+        assert checks_found(engine=engine) == {"quota_sanity"}
+
+    def test_charge_past_the_window_budget(self):
+        kernel = worked_kernel()
+        engine, scheme = quota_engine(kernel)
+        scheme.quota._charged = scheme.quota.size_bytes + 4096
+        assert checks_found(engine=engine) == {"quota_sanity"}
+
+    def test_unlimited_quota_exempt(self):
+        kernel = worked_kernel()
+        engine, _ = quota_engine(kernel)
+        engine.schemes[0].quota = None
+        assert checks_found(engine=engine) == set()
+
+
+# ----------------------------------------------------------------------
+# Runtime behaviour: raising, wiring, reporting
+# ----------------------------------------------------------------------
+class TestRuntime:
+    def test_checkpoint_raises_with_structured_violations(self):
+        kernel = worked_kernel()
+        kernel.frames.allocated += 1
+        sanitizer = SimSanitizer()
+        with pytest.raises(SanitizerError) as excinfo:
+            sanitizer.checkpoint_kernel(kernel, now=2 * EPOCH)
+        err = excinfo.value
+        assert err.violations and err.violations[0].check == "frame_conservation"
+        assert err.violations[0].epoch == 0
+        assert len(err.violations[0].digest) == 12
+        assert "frame_conservation" in str(err)
+
+    def test_disabled_sanitizer_is_inert(self):
+        kernel = worked_kernel()
+        kernel.frames.allocated += 1
+        sanitizer = SimSanitizer(enabled=False)
+        sanitizer.checkpoint_kernel(kernel, now=0)
+        assert sanitizer.check_all(kernel=kernel) == []
+        assert sanitizer.violations == [] and sanitizer.epochs_checked == 0
+
+    def test_end_epoch_checkpoint_is_wired(self):
+        kernel = worked_kernel()
+        kernel.sanitizer = SimSanitizer()
+        kernel.space.vmas[0].pages.n_present += 1
+        with pytest.raises(SanitizerError):
+            kernel.end_epoch(2 * EPOCH, compute_us=70_000)
+
+    def test_monitor_tick_checkpoint_is_wired(self):
+        from repro.sim.clock import EventQueue
+
+        kernel = worked_kernel()
+        queue = EventQueue()
+        monitor = started_monitor(kernel, queue=queue)
+        monitor.sanitizer = SimSanitizer()
+        queue.run_for(100 * MSEC)
+        assert monitor.sanitizer.monitor_checkpoints > 0
+        assert monitor.sanitizer.violations == []
+
+    def test_summary_one_liner(self):
+        sanitizer = SimSanitizer()
+        sanitizer.checkpoint_kernel(worked_kernel(), now=0)
+        assert sanitizer.summary() == (
+            "sanitizer enabled: 1 epoch checkpoint(s), 0 monitor checkpoint(s), "
+            "0 violation(s)"
+        )
+
+    def test_default_toggle_roundtrip(self):
+        previous = default_enabled()
+        try:
+            set_default_enabled(True)
+            assert default_enabled() is True
+            set_default_enabled(False)
+            assert default_enabled() is False
+        finally:
+            set_default_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: sanitized runs are clean and byte-identical
+# ----------------------------------------------------------------------
+def _comparable(result):
+    payload = dataclasses.asdict(result)
+    payload.pop("wall_clock_us")  # volatile: host wall clock
+    payload.pop("snapshots")  # recorded objects, compared via metrics
+    return payload
+
+
+class TestEndToEnd:
+    def test_sanitized_run_is_clean_and_checkpointed(self):
+        sanitizer = SimSanitizer()
+        run_experiment(
+            "parsec3/swaptions", config="prcl", time_scale=0.02, sanitize=sanitizer
+        )
+        assert sanitizer.epochs_checked > 0
+        assert sanitizer.monitor_checkpoints > 0
+        assert sanitizer.violations == []
+
+    def test_results_identical_with_and_without_sanitizer(self):
+        kwargs = dict(config="prcl", time_scale=0.02, seed=5)
+        plain = run_experiment("parsec3/swaptions", sanitize=False, **kwargs)
+        checked = run_experiment("parsec3/swaptions", sanitize=True, **kwargs)
+        assert _comparable(plain) == _comparable(checked)
