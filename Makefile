@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples figures clean lint
+.PHONY: install test bench bench-full examples figures clean lint fleet-smoke
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,14 @@ bench-full:
 
 examples:
 	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex; done
+
+# The fleet acceptance bar, locally: a seeded 10k-tenant fleet run
+# twice under the sanitizer, canonical summaries byte-identical.
+fleet-smoke:
+	DAOS_SANITIZE=1 $(PYTHON) -m repro.cli --seed 42 fleet -n 10000 --out /tmp/daos-fleet-a.json
+	DAOS_SANITIZE=1 $(PYTHON) -m repro.cli --seed 42 fleet -n 10000 --out /tmp/daos-fleet-b.json
+	cmp /tmp/daos-fleet-a.json /tmp/daos-fleet-b.json
+	@echo "fleet smoke: byte-identical under the sanitizer"
 
 # One figure/table at a time, e.g. `make fig7`.
 fig%:

@@ -6,8 +6,15 @@ working sets; a hand-crafted scheme pages out everything untouched for
 30 seconds, to either ZRAM or file-based swap.  Figure 9 plots the
 normalized (system) RSS: No Swap ≈ 1.0, ZRAM ≈ 0.2, File ≈ 0.1 — file
 swap saves more because ZRAM keeps compressed copies in DRAM.
+
+Two stand-ins run here: the original single-process serverless spec,
+and the fleet-scale version — the same comparison across a whole
+multi-tenant fleet through :func:`~repro.fleet.run_fleet` (the paper's
+deployment is a fleet, not one process).  ``pytest --fleet N`` sets the
+fleet size (default 200).
 """
 
+from repro.fleet import FleetConfig, run_fleet
 from repro.runner.configs import prcl_config
 from repro.runner.experiment import run_experiment
 from repro.runner.results import normalize
@@ -72,3 +79,52 @@ def test_fig9_production_reclamation(benchmark, report):
     for swap in ("file", "zram"):
         assert overheads[swap]["slowdown"] < 0.05
         assert overheads[swap]["monitor_cpu"] < 0.02
+
+
+def test_fig9_fleet_production_reclamation(benchmark, report, fleet_size):
+    """Figure 9 across a whole fleet: same swap-backend comparison, N
+    tenants against one shared pool, scheme vs no-scheme baseline.
+
+    The pool is sized just above the fleet footprint (ratio 1.05) so
+    the ratios isolate the reclamation scheme — no pressure evictions,
+    no shedding — exactly like the single-process Figure 9 run.
+    """
+
+    def config(swap, min_age_s):
+        return FleetConfig(
+            n_tenants=fleet_size,
+            duration_s=300.0,
+            footprint_mib=64,
+            pool_ratio=1.05,
+            swap=swap,
+            min_age_s=min_age_s,
+            seed=5,
+        )
+
+    ratios = {}
+
+    def run_all():
+        for swap in ("none", "file", "zram"):
+            base = run_fleet(config(swap, 0.0))
+            run = run_fleet(config(swap, 30.0))
+            ratios[swap] = run.final_system_bytes / max(1.0, base.final_system_bytes)
+        return ratios
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report.add(
+        f"Figure 9 at fleet scale: {fleet_size} tenants, shared pool, "
+        "normalized end-of-run system memory"
+    )
+    report.add("")
+    labels = {"none": "No Swap", "file": "File Swap", "zram": "ZRAM"}
+    for swap in ("none", "file", "zram"):
+        bar = "#" * int(round(ratios[swap] * 50))
+        report.add(f"{labels[swap]:>9s} |{bar:<50s}| {ratios[swap]:.2f}")
+
+    # Same conclusion-6 shapes as the single-process run: nothing
+    # without swap, large reduction with ZRAM, larger with file swap.
+    assert ratios["none"] > 0.97
+    assert ratios["zram"] < 0.6
+    assert ratios["file"] < ratios["zram"] - 0.1
+    assert ratios["file"] < 0.2

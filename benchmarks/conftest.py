@@ -78,3 +78,18 @@ def report(request):
     rep = BenchReport(request.node.name)
     yield rep
     rep.flush()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fleet",
+        type=int,
+        default=200,
+        metavar="N",
+        help="fleet size for the fleet-scale benchmarks (default 200)",
+    )
+
+
+@pytest.fixture
+def fleet_size(request):
+    return request.config.getoption("--fleet")

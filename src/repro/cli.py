@@ -29,7 +29,12 @@ Mirrors the upstream user-space tooling's verbs:
 * ``daos perf <workload>``               — profile one run: per-layer
   event/op/estimated-cost counters riding the trace bus, emitted as a
   deterministic JSON breakdown (same seed → same report, except the
-  ``volatile`` wall-clock block).
+  ``volatile`` wall-clock block);
+* ``daos fleet``                         — run a whole multi-tenant
+  fleet (thousands of serverless tenants against one shared physical
+  pool) in one process, optionally sharded over the sweep worker pool
+  (``--shards``/``--jobs``); ``--out FILE`` writes the canonical
+  summary JSON two seeded runs of which compare byte-identical.
 
 ``run``, ``schemes`` and ``tune`` also accept ``--trace FILE`` to write
 the run's event stream alongside their normal report.  ``run``,
@@ -253,6 +258,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("-c", "--config", default="rec", choices=sorted(CONFIGS))
     p_perf.add_argument(
         "-o", "--output", help="write the JSON report here (default: stdout)"
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a multi-tenant fleet against one shared physical pool"
+    )
+    p_fleet.add_argument(
+        "-n", "--tenants", type=int, default=1000, help="fleet size (default 1000)"
+    )
+    p_fleet.add_argument(
+        "--duration", type=float, default=300.0, metavar="SECONDS",
+        help="simulated duration per tenant (default 300s)",
+    )
+    p_fleet.add_argument(
+        "--footprint-mib", type=int, default=64,
+        help="mean tenant footprint in MiB (each tenant draws ±25%%)",
+    )
+    p_fleet.add_argument(
+        "--cold-share", type=float, default=0.9,
+        help="mean cold fraction of each tenant's footprint (default 0.9)",
+    )
+    p_fleet.add_argument(
+        "--min-age", type=float, default=30.0, metavar="SECONDS",
+        help="reclamation scheme min_age; 0 disables the scheme",
+    )
+    p_fleet.add_argument(
+        "--pool-ratio", type=float, default=0.6,
+        help="physical pool as a fraction of total fleet footprint",
+    )
+    p_fleet.add_argument(
+        "--pool-gib", type=float, default=0.0,
+        help="physical pool in GiB (overrides --pool-ratio when > 0)",
+    )
+    p_fleet.add_argument(
+        "--swap", choices=("zram", "file", "none"), default="zram",
+        help="swap backend for reclaimed pages (default zram)",
+    )
+    p_fleet.add_argument(
+        "--shards", type=int, default=1,
+        help="split the fleet into this many pools over the sweep runner",
+    )
+    p_fleet.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for sharded runs (1 = in-process)",
+    )
+    p_fleet.add_argument(
+        "-o", "--out", metavar="FILE",
+        help="write the canonical (volatile-free) summary JSON here",
+    )
+    p_fleet.add_argument(
+        "--naive",
+        action="store_true",
+        help="run each tenant as its own run_experiment call instead of the "
+        "batched scheduler (slow; for cross-validation at small -n)",
+    )
+    p_fleet.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="cross-check fleet invariants every tick "
+        "(also enabled by DAOS_SANITIZE=1)",
     )
 
     p_lint = sub.add_parser(
@@ -722,6 +786,74 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _fleet_config_from_args(args):
+    from .fleet import FleetConfig
+
+    return FleetConfig(
+        n_tenants=args.tenants,
+        duration_s=args.duration,
+        footprint_mib=args.footprint_mib,
+        cold_share=args.cold_share,
+        min_age_s=args.min_age,
+        pool_ratio=args.pool_ratio,
+        pool_gib=args.pool_gib,
+        swap=args.swap,
+        machine=args.machine,
+        seed=args.seed,
+    )
+
+
+def _cmd_fleet(args) -> int:
+    """One fleet run: batched scheduler, sharded pools, or the naive loop."""
+    from .fleet import run_fleet, run_fleet_naive, run_fleet_sharded
+    from .sanitize import default_enabled
+
+    cfg = _fleet_config_from_args(args)
+    sanitize = args.sanitize or default_enabled()
+    if args.naive:
+        results = run_fleet_naive(cfg)
+        total_rss = sum(r.avg_rss_bytes for r in results)
+        print(f"naive fleet  : {len(results)} tenant run(s), one kernel each")
+        print(f"avg RSS sum  : {format_size(int(total_rss))}")
+        print(f"major faults : {sum(r.breakdown.get('major_faults', 0) for r in results)}")
+        return 0
+    if args.shards > 1:
+        merged = run_fleet_sharded(
+            cfg, n_shards=args.shards, jobs=args.jobs, sanitize=sanitize
+        )
+        text = json.dumps(merged, sort_keys=True, separators=(",", ":"))
+        print(
+            f"fleet        : {merged['n_tenants']} tenants in "
+            f"{merged['n_shards']} pool(s), {merged['n_regions']} regions"
+        )
+        print(f"pool         : {format_size(merged['pool_bytes'])} (all pools)")
+        print(f"final RSS    : {format_size(merged['final_resident_bytes'])}")
+        print(f"pageout      : {merged['pageout_pages']} pages, "
+              f"{merged['evicted_pages']} evicted under pressure")
+        print(f"digests      : {' '.join(merged['shard_digests'])}")
+    else:
+        result = run_fleet(cfg, sanitize=True if sanitize else None)
+        text = result.canonical_json()
+        rss_ratio = result.final_resident_bytes / result.total_footprint_bytes
+        print(f"fleet        : {result.n_tenants} tenants, {result.n_regions} regions")
+        print(f"pool         : {format_size(result.pool_bytes)} "
+              f"of {format_size(result.total_footprint_bytes)} footprint")
+        print(f"final RSS    : {format_size(result.final_resident_bytes)} "
+              f"({rss_ratio:.1%} of footprint)")
+        print(f"faults       : {result.minor_faults} minor, {result.major_faults} major")
+        print(f"pageout      : {result.pageout_pages} pages in "
+              f"{result.pageout_batches} batches; {result.evicted_pages} evicted "
+              f"under pressure ({result.reclaim_passes} passes)")
+        print(f"monitor      : {result.monitor_checks} checks, "
+              f"{result.monitor_cpu_us / 1e6:.2f}s estimated CPU")
+        print(f"digest       : {result.digest()} "
+              f"(wall {result.wall_clock_us / 1e6:.2f}s)")
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"summary written to {args.out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     diagnostics = []
     for scheme_file in args.schemes:
@@ -770,6 +902,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "perf": _cmd_perf,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
 }
 

@@ -1,0 +1,38 @@
+"""The fleet layer: one monitor daemon, ten thousand tenants (§4.4).
+
+The paper's production story is a serverless fleet of mostly-idle
+processes with a ~90% RSS-vs-WSS gap.  This package scales the
+reproduction from one simulated process per :func:`~repro.runner.run_experiment`
+call to whole fleets in one process:
+
+* :mod:`~repro.fleet.tenant` — per-tenant specs from one base seed;
+* :mod:`~repro.fleet.pool` — the shared physical pool, watermark-coupled;
+* :mod:`~repro.fleet.scheduler` — the vectorized fleet tick
+  (faults → batched monitor → scheme pageout → pressure reclaim);
+* :mod:`~repro.fleet.shard` — pools-of-tenants sharding over the sweep
+  spawn pool;
+* :mod:`~repro.fleet.result` — canonical, digestable run summaries.
+
+Entry points: ``daos fleet`` on the command line, :func:`run_fleet` /
+:func:`run_fleet_sharded` from code.
+"""
+
+from .pool import FleetFramePool
+from .result import FleetResult
+from .scheduler import FleetConfig, FleetScheduler, run_fleet, run_fleet_naive
+from .shard import run_fleet_sharded, shard_grid
+from .tenant import TenantSpec, build_tenant_spec, build_tenant_specs
+
+__all__ = [
+    "FleetConfig",
+    "FleetFramePool",
+    "FleetResult",
+    "FleetScheduler",
+    "TenantSpec",
+    "build_tenant_spec",
+    "build_tenant_specs",
+    "run_fleet",
+    "run_fleet_naive",
+    "run_fleet_sharded",
+    "shard_grid",
+]

@@ -1,0 +1,68 @@
+"""The shared physical pool every fleet tenant allocates from.
+
+The single-run kernel tracks individual frames in a
+:class:`~repro.sim.physmem.FrameTable` because schemes and the rmap
+need per-frame owners.  At fleet scale the unit of management is the
+*region* (see :mod:`repro.monitor.batch`), so the shared pool only
+needs exact frame counts — same conservation invariants, checked by the
+sanitizer (``allocated == Σ resident``), without 10,000 owner arrays.
+
+Watermark policy is not duplicated here: the pool evaluates the same
+:class:`~repro.sim.kernel.Watermarks` values the per-tenant kernels
+default to, which is how "fleet-wide watermarks" and per-process
+reclaim stay one policy.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim.kernel import Watermarks
+from ..sim.pagetable import PAGE_SIZE
+
+__all__ = ["FleetFramePool"]
+
+
+class FleetFramePool:
+    """Counts-only frame accounting for one pool of tenants."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < PAGE_SIZE:
+            raise ConfigError(f"pool capacity below one page: {capacity_bytes}")
+        self.capacity_frames = int(capacity_bytes) // PAGE_SIZE
+        self.allocated = 0
+        self.peak_allocated = 0
+
+    def free_frames(self) -> int:
+        """Frames currently unallocated."""
+        return self.capacity_frames - self.allocated
+
+    def charge(self, n_frames: int) -> None:
+        """Allocate ``n_frames``; the caller reclaims or sheds first."""
+        n = int(n_frames)
+        if n < 0:
+            raise ConfigError(f"negative frame charge: {n}")
+        if n > self.free_frames():
+            raise ConfigError(
+                f"pool overdraw: need {n} frames, {self.free_frames()} free"
+            )
+        self.allocated += n
+        if self.allocated > self.peak_allocated:
+            self.peak_allocated = self.allocated
+
+    def release(self, n_frames: int) -> None:
+        """Return ``n_frames`` to the pool."""
+        n = int(n_frames)
+        if n < 0 or n > self.allocated:
+            raise ConfigError(
+                f"cannot release {n} of {self.allocated} allocated frames"
+            )
+        self.allocated -= n
+
+    # -- watermark policy (shared with SimKernel) -----------------------
+    def over_high(self, watermarks: Watermarks) -> bool:
+        """Whether a pressure-reclaim pass should start."""
+        return self.allocated > watermarks.high_frames(self.capacity_frames)
+
+    def pressure_target(self, watermarks: Watermarks) -> int:
+        """Frames to evict to get back under the low watermark."""
+        return max(0, self.allocated - watermarks.low_frames(self.capacity_frames))

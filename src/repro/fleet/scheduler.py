@@ -1,0 +1,587 @@
+"""The fleet scheduler: ten thousand tenants, one monitor daemon.
+
+:class:`FleetScheduler` runs a whole fleet of serverless tenants in a
+single process against one shared :class:`~repro.fleet.pool.FleetFramePool`,
+one swap device and one sim clock.  Tenants are modelled at *region*
+granularity: each contributes a handful of converged monitor regions
+(cold image in fixed-size chunks, one hot, one warm — see
+:mod:`repro.monitor.batch`), and every simulation tick is a set of
+vectorized passes over the fleet-wide region table:
+
+1. **access/fault pass** — boot ramps, hot cores and warm duty cycles
+   demand pages; swapped pages fault back (major) and new pages fault
+   in (minor), charged from the shared pool;
+2. **batched monitor pass** — one binomial draw samples every region's
+   ``nr_accesses``; ages grow across idle aggregations;
+3. **scheme pass** — the paper's ``min_age`` PAGEOUT evicts aged-idle
+   regions to swap, fleet-wide in one pass;
+4. **pressure pass** — when the pool crosses the shared
+   :class:`~repro.sim.kernel.Watermarks` high mark, the globally
+   coldest untouched regions are evicted until the low mark, *whoever
+   owns them* — the coupling that makes one tenant's burst another
+   tenant's major faults.
+
+Construction goes through the same
+:func:`~repro.runner.experiment.build_machine` factory the single-run
+path uses, so guest sizing and swap calibration agree between a
+``run_experiment`` call and a 10,000-tenant fleet.  The naive reference
+(:func:`run_fleet_naive`) runs the identical tenant specs through
+``run_experiment`` one process-simulation at a time — the status quo
+this layer replaces, and the baseline `benchmarks/bench_fleet_scale.py`
+measures against.
+
+Determinism: tenant traits come from per-tenant seeds, the only runtime
+randomness is the monitor's sampling stream, and the RNG consumed per
+tick depends on the table shape alone — a seeded fleet run replays
+byte-identically (the CI smoke job and the sanitizer both hold it to
+that).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..monitor.attrs import MonitorAttrs
+from ..monitor.batch import BatchMonitorPass, BatchRegionTable
+from ..runner.configs import get_config, prcl_config
+from ..runner.experiment import MachineBuild, build_machine, run_experiment
+from ..sim.costs import CostModel
+from ..sim.clock import EventQueue
+from ..sim.kernel import Watermarks
+from ..sim.machine import get_instance, scaled_instance
+from ..sim.pagetable import PAGE_SIZE
+from ..sim.swap import FileSwapDevice, NoSwapDevice, SwapDevice, ZramDevice
+from ..sweep.grid import derive_seed
+from ..trace.bus import TraceBus
+from ..trace.events import PageoutBatch, ReclaimPass
+from ..units import GIB, MIB, MSEC, SEC
+from .pool import FleetFramePool
+from .result import FleetResult
+from .tenant import COLD_INIT_P, TenantSpec, build_tenant_specs
+
+__all__ = ["FleetConfig", "FleetScheduler", "run_fleet", "run_fleet_naive"]
+
+_KIND_COLD, _KIND_HOT, _KIND_WARM = 0, 1, 2
+
+_SWAP_KINDS = ("zram", "file", "none")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one fleet run; every field is a JSON scalar so a
+    config round-trips through sweep points (:meth:`as_params`)."""
+
+    n_tenants: int = 1000
+    duration_s: float = 300.0
+    footprint_mib: int = 64
+    cold_share: float = 0.9
+    #: PAGEOUT scheme age threshold; 0 disables the scheme (baseline).
+    min_age_s: float = 30.0
+    #: Pool capacity as a fraction of the fleet's total footprint — the
+    #: overcommit knob (the paper's fleet premise is RSS ≫ WSS).
+    pool_ratio: float = 0.6
+    #: Explicit pool capacity in GiB; overrides ``pool_ratio`` when > 0.
+    pool_gib: float = 0.0
+    swap: str = "zram"
+    machine: str = "i3.metal"
+    seed: int = 0
+    arrival_window_s: float = 60.0
+    #: One fleet tick = one monitor aggregation interval.
+    tick_ms: int = 1000
+    sampling_ms: int = 5
+    #: Cold images are split into monitor regions of this size.
+    cold_region_mib: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ConfigError(f"fleet needs at least one tenant: {self.n_tenants}")
+        if self.duration_s <= 0:
+            raise ConfigError(f"duration must be positive: {self.duration_s}")
+        if self.footprint_mib < 3:
+            raise ConfigError(f"tenant footprint below 3 MiB: {self.footprint_mib}")
+        if not 0.0 < self.cold_share < 1.0:
+            raise ConfigError(f"cold_share must be in (0, 1): {self.cold_share}")
+        if self.min_age_s < 0:
+            raise ConfigError(f"min_age cannot be negative: {self.min_age_s}")
+        if self.pool_ratio <= 0 and self.pool_gib <= 0:
+            raise ConfigError("need pool_ratio > 0 or an explicit pool_gib")
+        if self.swap not in _SWAP_KINDS:
+            raise ConfigError(f"unknown swap kind {self.swap!r} ({'|'.join(_SWAP_KINDS)})")
+        if self.tick_ms <= 0 or self.sampling_ms <= 0 or self.tick_ms % self.sampling_ms:
+            raise ConfigError(
+                f"tick ({self.tick_ms}ms) must be a positive multiple of the "
+                f"sampling interval ({self.sampling_ms}ms)"
+            )
+        if self.cold_region_mib < 1:
+            raise ConfigError(f"cold region size below 1 MiB: {self.cold_region_mib}")
+        if self.arrival_window_s < 0:
+            raise ConfigError(f"arrival window cannot be negative: {self.arrival_window_s}")
+
+    # -- derived -------------------------------------------------------
+    @property
+    def duration_us(self) -> int:
+        return int(self.duration_s * SEC)
+
+    @property
+    def tick_us(self) -> int:
+        return self.tick_ms * MSEC
+
+    @property
+    def min_age_us(self) -> int:
+        return int(self.min_age_s * SEC)
+
+    # -- sweep-point round trip ---------------------------------------
+    def as_params(self) -> Dict[str, Any]:
+        """The config as a flat dict of JSON scalars."""
+        return {
+            "n_tenants": self.n_tenants,
+            "duration_s": self.duration_s,
+            "footprint_mib": self.footprint_mib,
+            "cold_share": self.cold_share,
+            "min_age_s": self.min_age_s,
+            "pool_ratio": self.pool_ratio,
+            "pool_gib": self.pool_gib,
+            "swap": self.swap,
+            "machine": self.machine,
+            "seed": self.seed,
+            "arrival_window_s": self.arrival_window_s,
+            "tick_ms": self.tick_ms,
+            "sampling_ms": self.sampling_ms,
+            "cold_region_mib": self.cold_region_mib,
+        }
+
+    @classmethod
+    def from_params(cls, params: Dict[str, Any]) -> "FleetConfig":
+        return cls(**params)
+
+
+def _build_fleet_swap(machine: MachineBuild, total_footprint: int) -> SwapDevice:
+    """A fleet-sized swap device with the single-run calibration.
+
+    Capacity scales with the fleet (2x the total footprint) so slot
+    exhaustion is a modelled event, not an artifact of the single-run
+    4 GiB default; per-page latencies are taken from the device
+    :func:`~repro.runner.experiment.build_machine` built, so both paths
+    price a page identically.
+    """
+    capacity = max(2 * total_footprint, 1 * GIB)
+    proto = machine.swap
+    if machine.swap_kind == "zram":
+        assert isinstance(proto, ZramDevice)
+        return ZramDevice(
+            capacity,
+            compress_us_per_page=proto.compress_us,
+            decompress_us_per_page=proto.decompress_us,
+            compression_ratio=proto.ratio,
+        )
+    if machine.swap_kind == "file":
+        assert isinstance(proto, FileSwapDevice)
+        return FileSwapDevice(
+            capacity,
+            read_us_per_page=proto.read_us,
+            write_us_per_page=proto.write_us,
+        )
+    return NoSwapDevice()
+
+
+class FleetScheduler:
+    """One fleet (or one shard of one) in a single process."""
+
+    def __init__(
+        self,
+        cfg: FleetConfig,
+        *,
+        tenant_range: Optional[Tuple[int, int]] = None,
+        trace: Optional[TraceBus] = None,
+        sanitize: Any = None,
+    ) -> None:
+        self.cfg = cfg
+        self.lo, self.hi = tenant_range if tenant_range is not None else (0, cfg.n_tenants)
+        self.trace = trace
+
+        from ..sanitize import SimSanitizer, default_enabled
+
+        if isinstance(sanitize, SimSanitizer):
+            self.sanitizer: Optional[SimSanitizer] = sanitize
+        else:
+            enabled = default_enabled() if sanitize is None else bool(sanitize)
+            self.sanitizer = SimSanitizer(enabled=True) if enabled else None
+
+        #: The machine factory shared with the single-run path.
+        self.machine = build_machine(cfg.machine, swap=cfg.swap)
+        self.costs = CostModel()
+        self.watermarks = Watermarks()
+
+        self.tenants: List[TenantSpec] = build_tenant_specs(
+            base_seed=cfg.seed,
+            n_tenants=cfg.n_tenants,
+            footprint_mib=cfg.footprint_mib,
+            cold_share=cfg.cold_share,
+            arrival_window_s=cfg.arrival_window_s,
+            tenant_range=(self.lo, self.hi),
+        )
+        n = len(self.tenants)
+        self._build_regions()
+
+        total_footprint = int(sum(t.footprint for t in self.tenants))
+        self.total_footprint = total_footprint
+        self.total_cold = int(sum(t.cold for t in self.tenants))
+        if cfg.pool_gib > 0:
+            # A shard gets its tenant-count share of the explicit pool.
+            pool_bytes = int(cfg.pool_gib * GIB * n / cfg.n_tenants)
+        else:
+            pool_bytes = int(total_footprint * cfg.pool_ratio)
+        self.pool = FleetFramePool(pool_bytes)
+        self.swap_device = _build_fleet_swap(self.machine, total_footprint)
+        if cfg.swap == "zram":
+            self._swap_read_us = float(self.swap_device.decompress_us)  # type: ignore[attr-defined]
+        elif cfg.swap == "file":
+            self._swap_read_us = float(self.swap_device.read_us)  # type: ignore[attr-defined]
+        else:
+            self._swap_read_us = 0.0
+
+        attrs = MonitorAttrs(
+            sampling_interval_us=cfg.sampling_ms * MSEC,
+            aggregation_interval_us=cfg.tick_us,
+            regions_update_interval_us=max(1 * SEC, cfg.tick_us),
+        )
+        self.monitor = BatchMonitorPass(
+            self.table,
+            attrs,
+            costs=self.costs,
+            seed=derive_seed(cfg.seed, {"stream": "fleet-monitor", "lo": self.lo, "hi": self.hi}),
+        )
+
+        # Per-tenant accumulators (local indices 0..n-1).
+        self.stall_us = np.zeros(n, dtype=np.float64)
+        self.minor_faults = np.zeros(n, dtype=np.int64)
+        self.major_faults = np.zeros(n, dtype=np.int64)
+        self.pageout_pages = np.zeros(n, dtype=np.int64)
+        self.pageout_batches = np.zeros(n, dtype=np.int64)
+        self.evicted_pages = np.zeros(n, dtype=np.int64)
+        self.shed_pages = np.zeros(n, dtype=np.int64)
+        self.reclaim_passes = 0
+        self.degraded_ticks = 0
+        self.peak_resident_pages = 0
+        self.peak_system_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Region table construction
+    # ------------------------------------------------------------------
+    def _build_regions(self) -> None:
+        chunk_pages = self.cfg.cold_region_mib * MIB // PAGE_SIZE
+        tenant_col: List[int] = []
+        kind_col: List[int] = []
+        size_col: List[int] = []
+        for local, t in enumerate(self.tenants):
+            cold_pages = t.cold // PAGE_SIZE
+            while cold_pages > 0:
+                take = min(chunk_pages, cold_pages)
+                # Never leave a sub-MiB tail region behind.
+                if 0 < cold_pages - take < MIB // PAGE_SIZE:
+                    take = cold_pages
+                tenant_col.append(local)
+                kind_col.append(_KIND_COLD)
+                size_col.append(take)
+                cold_pages -= take
+            tenant_col.append(local)
+            kind_col.append(_KIND_HOT)
+            size_col.append(t.hot // PAGE_SIZE)
+            tenant_col.append(local)
+            kind_col.append(_KIND_WARM)
+            size_col.append(t.warm // PAGE_SIZE)
+
+        self.table = BatchRegionTable(np.array(tenant_col), np.array(size_col))
+        self.kind = np.array(kind_col, dtype=np.int8)
+        self.resident = np.zeros(self.table.n_regions, dtype=np.int64)
+        self.swapped = np.zeros(self.table.n_regions, dtype=np.int64)
+        self.last_touch = np.full(self.table.n_regions, -1, dtype=np.int64)
+
+        # Per-region gathers of per-tenant parameters (layout is fixed,
+        # so gathering once beats a fancy index every tick).
+        tid = self.table.tenant
+        self._boot = np.array([t.boot_us for t in self.tenants], dtype=np.int64)[tid]
+        self._init = np.array([t.init_us for t in self.tenants], dtype=np.int64)[tid]
+        self._period = np.array([t.warm_period_us for t in self.tenants], dtype=np.int64)[tid]
+        self._phase = np.array([t.warm_phase_us for t in self.tenants], dtype=np.int64)[tid]
+        self._duty = np.array([t.warm_duty for t in self.tenants], dtype=np.float64)[tid]
+        self._hot_p = np.array([t.hot_p for t in self.tenants], dtype=np.float64)[tid]
+        self._warm_p = np.array([t.warm_p for t in self.tenants], dtype=np.float64)[tid]
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+    def _tick(self, now: int) -> None:
+        cfg = self.cfg
+        tab = self.table
+        size = tab.size_pages
+        is_cold = self.kind == _KIND_COLD
+        is_hot = self.kind == _KIND_HOT
+        is_warm = self.kind == _KIND_WARM
+
+        elapsed = now - self._boot
+        alive = elapsed >= 0
+        in_init = alive & (elapsed < self._init)
+        warm_active = alive & is_warm & (
+            (elapsed + self._phase) % self._period
+            < (self._duty * self._period).astype(np.int64)
+        )
+
+        # -- demand ----------------------------------------------------
+        frac = np.clip(elapsed / np.maximum(self._init, 1), 0.0, 1.0)
+        cold_target = (size * frac).astype(np.int64)
+        demand = np.zeros_like(size)
+        # Cold pages are touched exactly once: whatever was evicted
+        # stays in swap, so demand excludes swapped pages.
+        np.copyto(
+            demand,
+            np.clip(cold_target - self.resident - self.swapped, 0, None),
+            where=is_cold & alive,
+        )
+        np.copyto(demand, size - self.resident, where=is_hot & alive)
+        np.copyto(demand, size - self.resident, where=warm_active)
+        touched = (is_cold & in_init) | (is_hot & alive) | warm_active
+
+        # -- capacity: alloc-triggered reclaim, then shed --------------
+        need = int(demand.sum())
+        free = self.pool.free_frames()
+        if need > free:
+            self._evict(need - free, touched, now)
+            free = self.pool.free_frames()
+        if need > free:
+            # Grant in region order up to what fits; shed the rest.
+            cum = np.cumsum(demand)
+            grant = np.clip(free - (cum - demand), 0, demand)
+            shed = demand - grant
+            self.shed_pages += np.bincount(
+                tab.tenant, weights=shed, minlength=len(self.tenants)
+            ).astype(np.int64)
+            self.degraded_ticks += 1
+        else:
+            grant = demand
+
+        from_swap = np.where(is_cold, 0, np.minimum(grant, self.swapped))
+        fresh = grant - from_swap
+
+        # -- apply faults ----------------------------------------------
+        self.resident += grant
+        self.swapped -= from_swap
+        self.pool.charge(int(grant.sum()))
+        total_in = int(from_swap.sum())
+        if total_in:
+            self.swap_device.load(total_in)
+        per_tenant_major = np.bincount(tab.tenant, weights=from_swap, minlength=len(self.tenants))
+        per_tenant_fresh = np.bincount(tab.tenant, weights=fresh, minlength=len(self.tenants))
+        self.major_faults += per_tenant_major.astype(np.int64)
+        self.minor_faults += per_tenant_fresh.astype(np.int64)
+        self.stall_us += per_tenant_major * (
+            self._swap_read_us + self.costs.major_fault_handler_us
+        )
+        self.stall_us += per_tenant_fresh * self.costs.minor_fault_us
+        self.last_touch[touched] = now
+
+        # -- batched monitor pass --------------------------------------
+        p = (
+            np.where(is_cold & in_init, COLD_INIT_P, 0.0)
+            + np.where(is_hot & alive, self._hot_p, 0.0)
+            + np.where(warm_active, self._warm_p, 0.0)
+        )
+        self.monitor.tick(p, alive)
+
+        # -- scheme pass: fleet-wide min_age PAGEOUT -------------------
+        if cfg.min_age_us > 0:
+            idle = tab.idle_mask(cfg.min_age_us) & (self.resident > 0) & alive
+            self._pageout(idle, now)
+
+        # -- pressure pass: shared watermarks --------------------------
+        if self.pool.over_high(self.watermarks):
+            self._evict(self.pool.pressure_target(self.watermarks), touched, now)
+
+        resident_pages = int(self.resident.sum())
+        system = resident_pages * PAGE_SIZE + self.swap_device.dram_overhead_bytes()
+        if resident_pages > self.peak_resident_pages:
+            self.peak_resident_pages = resident_pages
+        if system > self.peak_system_bytes:
+            self.peak_system_bytes = system
+
+        if self.sanitizer is not None:
+            self.sanitizer.checkpoint_fleet(self, now)
+
+    def _pageout(self, mask: np.ndarray, now: int) -> None:
+        """Scheme PAGEOUT of every masked region, clamped by swap slots."""
+        pages = np.where(mask, self.resident, 0)
+        allowed = self.swap_device.free_pages()
+        total = int(pages.sum())
+        if total > allowed:
+            cum = np.cumsum(pages)
+            pages = np.clip(allowed - (cum - pages), 0, pages)
+            total = int(pages.sum())
+        if total <= 0:
+            return
+        self.resident -= pages
+        self.swapped += pages
+        self.pool.release(total)
+        self.swap_device.store(total, total)
+        tid = self.table.tenant
+        n = len(self.tenants)
+        self.pageout_pages += np.bincount(tid, weights=pages, minlength=n).astype(np.int64)
+        self.pageout_batches += np.bincount(
+            tid, weights=(pages > 0), minlength=n
+        ).astype(np.int64)
+        if self.trace is not None:
+            self.trace.count(PageoutBatch)
+
+    def _evict(self, target_pages: int, touched: np.ndarray, now: int) -> int:
+        """Evict up to ``target_pages`` from the globally coldest
+        untouched regions — the pressure path coupling tenants."""
+        budget = min(int(target_pages), self.swap_device.free_pages())
+        if budget <= 0:
+            return 0
+        cand = np.nonzero((self.resident > 0) & ~touched)[0]
+        if not cand.size:
+            return 0
+        order = cand[np.argsort(self.last_touch[cand], kind="stable")]
+        avail = self.resident[order]
+        cum = np.cumsum(avail)
+        take = np.clip(budget - (cum - avail), 0, avail)
+        total = int(take.sum())
+        if total <= 0:
+            return 0
+        self.resident[order] -= take
+        self.swapped[order] += take
+        self.pool.release(total)
+        self.swap_device.store(total, total)
+        self.evicted_pages += np.bincount(
+            self.table.tenant[order], weights=take, minlength=len(self.tenants)
+        ).astype(np.int64)
+        self.reclaim_passes += 1
+        if self.trace is not None:
+            self.trace.count(ReclaimPass)
+        return total
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Drive the fleet to ``duration_us`` and freeze the result."""
+        cfg = self.cfg
+        wall_start = time.perf_counter()
+        queue = EventQueue()
+        if self.trace is not None:
+            self.trace.bind_clock(queue.clock)
+        queue.schedule_periodic(cfg.tick_us, self._tick, name="fleet-tick")
+        queue.run_until(cfg.duration_us)
+
+        if self.trace is not None:
+            # Per-tenant attribution rides the bus's no-materialisation
+            # fast path: one bulk flush of the accumulated counters.
+            groups = {
+                f"t{t.index}": int(b)
+                for t, b in zip(self.tenants, self.pageout_batches)
+                if b
+            }
+            if groups:
+                self.trace.count_groups(PageoutBatch, groups)
+
+        rss = (
+            np.bincount(self.table.tenant, weights=self.resident, minlength=len(self.tenants))
+            * PAGE_SIZE
+        )
+        final_resident = int(self.resident.sum()) * PAGE_SIZE
+        return FleetResult(
+            n_tenants=len(self.tenants),
+            tenant_lo=self.lo,
+            tenant_hi=self.hi,
+            duration_us=cfg.duration_us,
+            seed=cfg.seed,
+            machine=cfg.machine,
+            swap=cfg.swap,
+            min_age_us=cfg.min_age_us,
+            tick_us=cfg.tick_us,
+            pool_bytes=self.pool.capacity_frames * PAGE_SIZE,
+            n_regions=self.table.n_regions,
+            total_footprint_bytes=self.total_footprint,
+            total_cold_bytes=self.total_cold,
+            peak_resident_bytes=self.peak_resident_pages * PAGE_SIZE,
+            final_resident_bytes=final_resident,
+            peak_system_bytes=int(self.peak_system_bytes),
+            final_system_bytes=final_resident + self.swap_device.dram_overhead_bytes(),
+            minor_faults=int(self.minor_faults.sum()),
+            major_faults=int(self.major_faults.sum()),
+            pageout_pages=int(self.pageout_pages.sum()),
+            pageout_batches=int(self.pageout_batches.sum()),
+            reclaim_passes=int(self.reclaim_passes),
+            evicted_pages=int(self.evicted_pages.sum()),
+            shed_pages=int(self.shed_pages.sum()),
+            degraded_ticks=int(self.degraded_ticks),
+            monitor_checks=int(self.monitor.total_checks),
+            monitor_cpu_us=float(self.monitor.total_cpu_us),
+            rss_p50_bytes=float(np.percentile(rss, 50)),
+            rss_p99_bytes=float(np.percentile(rss, 99)),
+            stall_p50_us=float(np.percentile(self.stall_us, 50)),
+            stall_p99_us=float(np.percentile(self.stall_us, 99)),
+            stall_total_us=float(self.stall_us.sum()),
+            wall_clock_us=(time.perf_counter() - wall_start) * 1e6,
+        )
+
+
+def run_fleet(
+    cfg: FleetConfig,
+    *,
+    tenant_range: Optional[Tuple[int, int]] = None,
+    trace: Optional[TraceBus] = None,
+    sanitize: Any = None,
+) -> FleetResult:
+    """Build a scheduler for ``cfg`` and run it to completion."""
+    return FleetScheduler(
+        cfg, tenant_range=tenant_range, trace=trace, sanitize=sanitize
+    ).run()
+
+
+def run_fleet_naive(cfg: FleetConfig, *, limit: Optional[int] = None) -> List[Any]:
+    """The pre-fleet way: one full ``run_experiment`` per tenant.
+
+    Each tenant gets its own machine scaled so its guest holds the
+    tenant's share of the fleet pool (floored at 16 MiB), its own
+    kernel, monitor and scheme engine — full page-granularity fidelity,
+    paid for in Python-level simulation per tenant.  This is the
+    reference the fleet benchmark measures the batched scheduler
+    against, and it consumes the same factories
+    (:func:`~repro.runner.experiment.build_machine` /
+    :func:`~repro.runner.experiment.build_tenant`) via ``run_experiment``.
+    """
+    host = get_instance(cfg.machine)
+    n = min(limit, cfg.n_tenants) if limit is not None else cfg.n_tenants
+    tenants = build_tenant_specs(
+        base_seed=cfg.seed,
+        n_tenants=cfg.n_tenants,
+        footprint_mib=cfg.footprint_mib,
+        cold_share=cfg.cold_share,
+        arrival_window_s=cfg.arrival_window_s,
+        tenant_range=(0, n),
+    )
+    if cfg.pool_gib > 0:
+        share = int(cfg.pool_gib * GIB / cfg.n_tenants)
+    else:
+        total = int(sum(t.footprint for t in tenants) / n * cfg.n_tenants)
+        share = int(total * cfg.pool_ratio / cfg.n_tenants)
+    guest_dram = max(share, 16 * MIB)
+    machine = scaled_instance(cfg.machine, dram_scale=guest_dram * 4 / host.dram_bytes)
+    config = prcl_config(cfg.min_age_us) if cfg.min_age_us > 0 else get_config("baseline")
+    results = []
+    for t in tenants:
+        results.append(
+            run_experiment(
+                t.to_workload_spec(cfg.duration_us),
+                config=config,
+                machine=machine,
+                seed=t.seed,
+                swap=cfg.swap,
+            )
+        )
+    return results

@@ -22,12 +22,16 @@ physical-address targets use the reverse map.
 """
 
 from .attrs import MonitorAttrs
+from .batch import BatchMonitorPass, BatchRegionTable, BatchTickStats
 from .core import DataAccessMonitor
 from .primitives import MonitoringPrimitive, PhysicalPrimitive, VirtualPrimitive
 from .region import MIN_REGION_SIZE, Region
 from .snapshot import RegionSnapshot, Snapshot
 
 __all__ = [
+    "BatchMonitorPass",
+    "BatchRegionTable",
+    "BatchTickStats",
     "DataAccessMonitor",
     "MIN_REGION_SIZE",
     "MonitorAttrs",

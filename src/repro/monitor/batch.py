@@ -1,0 +1,139 @@
+"""The batched monitor pass: every tenant's regions in one sweep.
+
+One fleet runs one monitor daemon, not ten thousand: instead of a
+Python-level :class:`~repro.monitor.core.DataAccessMonitor` per tenant,
+the fleet keeps all tenants' regions in a single struct-of-arrays table
+(:class:`BatchRegionTable` — the fleet-wide analogue of the single-run
+:class:`~repro.monitor.region.RegionArray`) and
+:class:`BatchMonitorPass` sweeps it with vectorized numpy passes.
+
+The sampling and aggregation semantics mirror the per-process monitor:
+every sampling interval each region gets one access check (a Bernoulli
+draw against the region's access probability), and each aggregation
+interval the per-region ``nr_accesses`` is the number of positive
+checks — drawn here as one vectorized binomial over all regions — while
+``age`` grows across idle aggregations and resets on access, exactly
+the inputs a ``min_age``-guarded PAGEOUT scheme consumes.
+
+Two deliberate simplifications, documented for the fidelity story:
+
+* **Converged regions.**  Fleet tenants carry the region layout a
+  per-process monitor converges to for the serverless pattern (cold
+  image split into fixed-size chunks, one hot, one warm region) and
+  skip the split/merge dynamics.  The single-run path keeps the full
+  state machine; `tests/test_monitor_fidelity.py` anchors one to the
+  other.
+* **Scalar cost accounting.**  The check count is exact
+  (``alive regions × samples per aggregation``) and priced through the
+  same :meth:`~repro.sim.costs.CostModel.monitor_check_cost_us` model,
+  but charged in one multiply — that boundedness (checks scale with
+  regions, never with footprint) is the PEBS-at-scale argument the
+  fleet benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.costs import CostModel
+from .attrs import MonitorAttrs
+
+__all__ = ["BatchRegionTable", "BatchMonitorPass", "BatchTickStats"]
+
+
+class BatchRegionTable:
+    """Struct-of-arrays region state spanning every tenant.
+
+    Columns are parallel arrays indexed by a global region id; the
+    ``tenant`` column maps each row to its owner.  Rows are grouped by
+    tenant and ordered by address within a tenant — the layout never
+    changes after construction (see the module docstring), so segment
+    reductions like ``np.bincount(tenant, weights)`` give per-tenant
+    roll-ups without any Python-level loop.
+    """
+
+    def __init__(self, tenant: np.ndarray, size_pages: np.ndarray) -> None:
+        tenant = np.asarray(tenant, dtype=np.int32)
+        size_pages = np.asarray(size_pages, dtype=np.int64)
+        if tenant.shape != size_pages.shape or tenant.ndim != 1:
+            raise ConfigError("tenant and size_pages must be parallel 1-D arrays")
+        if size_pages.size and size_pages.min() <= 0:
+            raise ConfigError("every region needs a positive page count")
+        if tenant.size and np.any(np.diff(tenant) < 0):
+            raise ConfigError("regions must be grouped by ascending tenant id")
+        self.tenant = tenant
+        self.size_pages = size_pages
+        self.n_regions = int(tenant.size)
+        self.n_tenants = int(tenant[-1]) + 1 if tenant.size else 0
+        #: Positive sampling checks in the last aggregation interval.
+        self.nr_accesses = np.zeros(self.n_regions, dtype=np.int32)
+        #: Microseconds of consecutive idle aggregations (0 while hot).
+        self.age_us = np.zeros(self.n_regions, dtype=np.int64)
+
+    def per_tenant_sum(self, values: np.ndarray) -> np.ndarray:
+        """Reduce a per-region column to per-tenant totals."""
+        return np.bincount(self.tenant, weights=values, minlength=self.n_tenants)
+
+    def idle_mask(self, min_age_us: int) -> np.ndarray:
+        """Regions idle for at least ``min_age_us`` — the PAGEOUT scheme
+        predicate, evaluated fleet-wide in one comparison."""
+        return (self.nr_accesses == 0) & (self.age_us >= int(min_age_us))
+
+
+@dataclass(frozen=True)
+class BatchTickStats:
+    """Cost accounting for one batched aggregation sweep."""
+
+    checks: int
+    cpu_us: float
+
+
+class BatchMonitorPass:
+    """One monitor daemon's aggregation tick over a whole fleet.
+
+    ``seed`` feeds a dedicated generator: sampling noise is the only
+    randomness in the fleet loop, so one seed fixes the whole run.
+    """
+
+    def __init__(
+        self,
+        table: BatchRegionTable,
+        attrs: MonitorAttrs,
+        *,
+        costs: CostModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.table = table
+        self.attrs = attrs
+        self.costs = costs if costs is not None else CostModel()
+        self.rng = np.random.default_rng(seed)
+        self.samples_per_agg = attrs.max_nr_accesses
+        self.total_checks = 0
+        self.total_cpu_us = 0.0
+
+    def tick(self, p_access: np.ndarray, alive: np.ndarray) -> BatchTickStats:
+        """Run one aggregation interval for every alive region.
+
+        ``p_access`` is the per-region probability that one sampling
+        check observes an access; ``alive`` masks tenants that have not
+        booted yet (their regions are neither sampled nor aged).  The
+        binomial is drawn over the full table every tick — masked rows
+        draw with p=0 — so the RNG stream consumed is a function of the
+        table shape alone, which is what makes seeded replays
+        byte-identical regardless of boot staggering.
+        """
+        t = self.table
+        p = np.where(alive, np.clip(p_access, 0.0, 1.0), 0.0)
+        draws = self.rng.binomial(self.samples_per_agg, p)
+        t.nr_accesses[:] = np.where(alive, draws, 0)
+        idle = alive & (t.nr_accesses == 0)
+        agg = self.attrs.aggregation_interval_us
+        t.age_us[:] = np.where(idle, t.age_us + agg, 0)
+        checks = int(np.count_nonzero(alive)) * self.samples_per_agg
+        cpu_us = self.costs.monitor_check_cost_us(checks, self.samples_per_agg)
+        self.total_checks += checks
+        self.total_cpu_us += cpu_us
+        return BatchTickStats(checks=checks, cpu_us=cpu_us)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 from ..errors import ConfigError
 from ..faults.injector import FaultInjector
@@ -39,7 +40,14 @@ from ..workloads.registry import get_workload
 from .configs import ExperimentConfig, get_config, prcl_config
 from .results import RunResult
 
-__all__ = ["run_experiment", "autotune_scheme"]
+__all__ = [
+    "MachineBuild",
+    "TenantBuild",
+    "build_machine",
+    "build_tenant",
+    "run_experiment",
+    "autotune_scheme",
+]
 
 
 def replace_quota(quota):
@@ -87,84 +95,100 @@ def _build_swap(kind: str, machine) -> object:
     raise ConfigError(f"unknown swap kind {kind!r} (zram | file | none)")
 
 
-def run_experiment(
-    workload: Union[str, WorkloadSpec],
+@dataclass(frozen=True)
+class MachineBuild:
+    """One simulated machine, ready to host a tenant.
+
+    Produced by :func:`build_machine`; consumed by the single-run path
+    (:func:`run_experiment`) and by the fleet layer (which sizes its
+    shared physical pool and swap from the same catalog data).
+    """
+
+    host: MachineSpec
+    guest: object  # GuestSpec
+    swap: object  # SwapDevice
+    swap_kind: str
+
+
+def build_machine(
+    machine: Union[str, MachineSpec] = "i3.metal", *, swap: str = "zram"
+) -> MachineBuild:
+    """Resolve a machine name (or ready spec) into host, guest and swap.
+
+    This is the machine half of the construction :func:`run_experiment`
+    used to do inline; the fleet scheduler calls it too, so both paths
+    agree on guest sizing and swap-device calibration.
+    """
+    host = machine if isinstance(machine, MachineSpec) else get_instance(machine)
+    return MachineBuild(
+        host=host, guest=guest_of(host), swap=_build_swap(swap, host), swap_kind=swap
+    )
+
+
+@dataclass
+class TenantBuild:
+    """One fully wired tenant: kernel, workload, monitoring stack.
+
+    Produced by :func:`build_tenant`.  The caller owns the event loop:
+    it creates the :class:`~repro.sim.clock.EventQueue`, calls
+    :meth:`start` (which binds the trace clock and registers the
+    monitor's periodic ticks — monitor before epoch ticks, so kdamond
+    wins same-instant ties exactly as before the refactor), then drives
+    the epoch loop.
+    """
+
+    spec: WorkloadSpec
+    cfg: ExperimentConfig
+    kernel: object
+    work: Workload
+    monitor: Optional[DataAccessMonitor]
+    engine: Optional[SchemesEngine]
+    sanitizer: Optional[object]
+    trace: Optional[TraceBus]
+    snapshots: Optional[List] = field(default=None)
+
+    def start(self, queue: EventQueue) -> None:
+        """Bind the run's clock and start the monitor on ``queue``."""
+        if self.trace is not None:
+            self.trace.bind_clock(queue.clock)
+        if self.monitor is not None:
+            self.monitor.start(queue)
+        if self.sanitizer is not None:
+            if self.engine is not None:
+                self.sanitizer.attach_engine(self.engine)
+            if self.trace is not None:
+                self.sanitizer.subscribe(
+                    self.trace, kernel=self.kernel, monitor=self.monitor
+                )
+
+
+def build_tenant(
+    spec: WorkloadSpec,
     *,
     config: Union[str, ExperimentConfig] = "baseline",
-    machine: Union[str, MachineSpec] = "i3.metal",
+    machine: MachineBuild,
     seed: int = 0,
-    time_scale: float = 1.0,
-    swap: str = "zram",
     attrs: Optional[MonitorAttrs] = None,
     costs: Optional[CostModel] = None,
     keep_snapshots: int = 0,
     trace: Optional[TraceBus] = None,
-    collect_trace: bool = True,
-    faults: Optional[FaultPlan] = None,
-    oom_policy: Optional[str] = None,
+    injector: Optional[FaultInjector] = None,
+    oom_policy: str = "raise",
     kernel_cls: type = SimKernel,
-    sanitize=None,
-) -> RunResult:
-    """Run one experiment and return its raw measurements.
+    sanitizer=None,
+) -> TenantBuild:
+    """Wire one tenant on ``machine``: kernel, workload, monitor, engine.
 
-    ``time_scale`` shrinks the workload's nominal duration for fast CI
-    runs (scheme ages and pattern periods are *not* scaled — they are
-    what is being measured).  ``keep_snapshots`` > 0 retains up to that
-    many aggregation snapshots for heatmap rendering.
-
-    ``trace`` supplies an external bus (its subscribers see every event;
-    its clock is bound to the run's); when ``None`` an internal, ring-less
-    bus is created so the result still carries a ``trace_summary``.  Pass
-    ``collect_trace=False`` to disable tracing entirely — the emission
-    sites then cost one ``is None`` check each.  Tracing never touches
-    the simulation's RNG streams, so results are identical either way.
-
-    ``machine`` is an instance name or a ready-made
-    :class:`~repro.sim.machine.MachineSpec` (e.g. from
-    ``scaled_instance``); ``kernel_cls`` swaps in an alternative kernel
-    implementation with the same constructor — the differential test
-    harness and the kernel benchmark run the frozen legacy kernel
-    through the exact same driver this way.
-
-    ``faults`` injects a seeded fault plan into the run: one
-    :class:`~repro.faults.FaultInjector` is shared by the kernel,
-    monitor and engine, and the kernel's ``oom_policy`` defaults to
-    ``"shed"`` so injected swap exhaustion degrades the run instead of
-    aborting it.  Pass ``oom_policy`` explicitly to override either way.
-
-    ``sanitize`` turns the :class:`~repro.sanitize.SimSanitizer` runtime
-    checks on (``True``), off (``False``), follows the process default
-    set at the CLI boundary (``None``), or uses a caller-supplied
-    :class:`~repro.sanitize.SimSanitizer` instance directly (the
-    overhead benchmark attaches a *disabled* one this way).  Checkers
-    are read-only and consume no RNG, so results are byte-identical
-    either way.
+    Construction order mirrors the real system's boot (guest kernel,
+    then kdamond, then the schemes engine); the workload's address-space
+    layout is created here so a returned tenant is ready for its first
+    epoch.  Seed derivation is the historical contract: kernel ``seed``,
+    workload ``seed + 1``, monitor ``seed + 2``.
     """
-    wall_start = time.perf_counter()
-    spec = get_workload(workload) if isinstance(workload, str) else workload
-    spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
     cfg = get_config(config) if isinstance(config, str) else config
-    host = machine if isinstance(machine, MachineSpec) else get_instance(machine)
-    guest = guest_of(host)
-
-    if trace is None and collect_trace:
-        trace = TraceBus(ring_capacity=0)
-
-    injector = FaultInjector(faults, trace=trace) if faults is not None else None
-    if oom_policy is None:
-        oom_policy = "shed" if faults is not None else "raise"
-
-    from ..sanitize import SimSanitizer, default_enabled
-
-    if isinstance(sanitize, SimSanitizer):
-        sanitizer = sanitize
-    else:
-        enabled = default_enabled() if sanitize is None else bool(sanitize)
-        sanitizer = SimSanitizer(enabled=True) if enabled else None
-
     kernel = kernel_cls(
-        guest,
-        swap=_build_swap(swap, host),
+        machine.guest,
+        swap=machine.swap,
         costs=costs,
         thp=ThpPolicy(mode=cfg.thp_mode),
         seed=seed,
@@ -176,13 +200,9 @@ def run_experiment(
         # Attribute attachment, not a constructor kwarg: kernel_cls may
         # be the frozen legacy oracle, whose signature must not change.
         kernel.sanitizer = sanitizer
-    queue = EventQueue()
-    if trace is not None:
-        trace.bind_clock(queue.clock)
     work = Workload(spec, kernel, seed=seed + 1)
     work.setup()
 
-    # --- monitoring stack -------------------------------------------------
     monitor = None
     engine = None
     snapshots = [] if (cfg.record or keep_snapshots) else None
@@ -242,12 +262,117 @@ def run_experiment(
             monitor.attach_engine(engine)
         if sanitizer is not None:
             monitor.sanitizer = sanitizer
-        monitor.start(queue)
-    if sanitizer is not None:
-        if engine is not None:
-            sanitizer.attach_engine(engine)
-        if trace is not None:
-            sanitizer.subscribe(trace, kernel=kernel, monitor=monitor)
+    return TenantBuild(
+        spec=spec,
+        cfg=cfg,
+        kernel=kernel,
+        work=work,
+        monitor=monitor,
+        engine=engine,
+        sanitizer=sanitizer,
+        trace=trace,
+        snapshots=snapshots,
+    )
+
+
+def run_experiment(
+    workload: Union[str, WorkloadSpec],
+    *,
+    config: Union[str, ExperimentConfig] = "baseline",
+    machine: Union[str, MachineSpec] = "i3.metal",
+    seed: int = 0,
+    time_scale: float = 1.0,
+    swap: str = "zram",
+    attrs: Optional[MonitorAttrs] = None,
+    costs: Optional[CostModel] = None,
+    keep_snapshots: int = 0,
+    trace: Optional[TraceBus] = None,
+    collect_trace: bool = True,
+    faults: Optional[FaultPlan] = None,
+    oom_policy: Optional[str] = None,
+    kernel_cls: type = SimKernel,
+    sanitize=None,
+) -> RunResult:
+    """Run one experiment and return its raw measurements.
+
+    ``time_scale`` shrinks the workload's nominal duration for fast CI
+    runs (scheme ages and pattern periods are *not* scaled — they are
+    what is being measured).  ``keep_snapshots`` > 0 retains up to that
+    many aggregation snapshots for heatmap rendering.
+
+    ``trace`` supplies an external bus (its subscribers see every event;
+    its clock is bound to the run's); when ``None`` an internal, ring-less
+    bus is created so the result still carries a ``trace_summary``.  Pass
+    ``collect_trace=False`` to disable tracing entirely — the emission
+    sites then cost one ``is None`` check each.  Tracing never touches
+    the simulation's RNG streams, so results are identical either way.
+
+    ``machine`` is an instance name or a ready-made
+    :class:`~repro.sim.machine.MachineSpec` (e.g. from
+    ``scaled_instance``); ``kernel_cls`` swaps in an alternative kernel
+    implementation with the same constructor — the differential test
+    harness and the kernel benchmark run the frozen legacy kernel
+    through the exact same driver this way.
+
+    ``faults`` injects a seeded fault plan into the run: one
+    :class:`~repro.faults.FaultInjector` is shared by the kernel,
+    monitor and engine, and the kernel's ``oom_policy`` defaults to
+    ``"shed"`` so injected swap exhaustion degrades the run instead of
+    aborting it.  Pass ``oom_policy`` explicitly to override either way.
+
+    ``sanitize`` turns the :class:`~repro.sanitize.SimSanitizer` runtime
+    checks on (``True``), off (``False``), follows the process default
+    set at the CLI boundary (``None``), or uses a caller-supplied
+    :class:`~repro.sanitize.SimSanitizer` instance directly (the
+    overhead benchmark attaches a *disabled* one this way).  Checkers
+    are read-only and consume no RNG, so results are byte-identical
+    either way.
+    """
+    wall_start = time.perf_counter()
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
+
+    if trace is None and collect_trace:
+        trace = TraceBus(ring_capacity=0)
+
+    injector = FaultInjector(faults, trace=trace) if faults is not None else None
+    if oom_policy is None:
+        oom_policy = "shed" if faults is not None else "raise"
+
+    from ..sanitize import SimSanitizer, default_enabled
+
+    if isinstance(sanitize, SimSanitizer):
+        sanitizer = sanitize
+    else:
+        enabled = default_enabled() if sanitize is None else bool(sanitize)
+        sanitizer = SimSanitizer(enabled=True) if enabled else None
+
+    # --- construction, via the shared factories ----------------------------
+    mb = build_machine(machine, swap=swap)
+    host, guest = mb.host, mb.guest
+    tenant = build_tenant(
+        spec,
+        config=config,
+        machine=mb,
+        seed=seed,
+        attrs=attrs,
+        costs=costs,
+        keep_snapshots=keep_snapshots,
+        trace=trace,
+        injector=injector,
+        oom_policy=oom_policy,
+        kernel_cls=kernel_cls,
+        sanitizer=sanitizer,
+    )
+    cfg = tenant.cfg
+    kernel = tenant.kernel
+    work = tenant.work
+    monitor = tenant.monitor
+    engine = tenant.engine
+    snapshots = tenant.snapshots
+
+    queue = EventQueue()
+    tenant.start(queue)
 
     # --- khugepaged (thp=always only) --------------------------------------
     if cfg.thp_mode == "always":

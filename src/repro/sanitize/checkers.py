@@ -30,8 +30,10 @@ from ..errors import MonitorStateError
 
 __all__ = [
     "Violation",
+    "digest_fleet_state",
     "digest_kernel_state",
     "digest_region_state",
+    "check_fleet_state",
     "check_frame_conservation",
     "check_present_swapped",
     "check_counter_coherence",
@@ -341,5 +343,91 @@ def check_quota_sanity(engine: Any, now: int) -> List[Violation]:
                 time_us=int(now),
                 digest=f"{charged & 0xFFFFFFFFFFFF:012x}",
             )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fleet-layer checkers
+# ----------------------------------------------------------------------
+def digest_fleet_state(scheduler: Any) -> str:
+    """Content hash of the fleet's region occupancy state."""
+    h = hashlib.sha256()
+    for column in (
+        scheduler.resident,
+        scheduler.swapped,
+        scheduler.last_touch,
+        scheduler.table.nr_accesses,
+        scheduler.table.age_us,
+    ):
+        h.update(np.ascontiguousarray(column).tobytes())
+    h.update(int(scheduler.pool.allocated).to_bytes(8, "little", signed=True))
+    h.update(int(scheduler.swap_device.used_pages).to_bytes(8, "little", signed=True))
+    return h.hexdigest()[:12]
+
+
+def check_fleet_state(scheduler: Any, now: int) -> List[Violation]:
+    """Fleet conservation: the shared pool, swap slots and per-region
+    occupancy must agree after every tick.
+
+    * pool frames are conserved: ``pool.allocated == Σ resident``;
+    * swap slots are conserved: ``swap.used_pages == Σ swapped``;
+    * no region overflows: ``0 <= resident + swapped <= size`` per row;
+    * the pool never overdrafts its capacity;
+    * a region observed accessed this aggregation has age 0.
+    """
+    out: List[Violation] = []
+
+    def bad(check: str, message: str) -> None:
+        out.append(
+            Violation(
+                check=check,
+                message=message,
+                time_us=int(now),
+                digest=digest_fleet_state(scheduler),
+            )
+        )
+
+    resident_total = int(scheduler.resident.sum())
+    if resident_total != scheduler.pool.allocated:
+        bad(
+            "fleet_pool_conservation",
+            f"pool allocated={scheduler.pool.allocated} but regions hold {resident_total}",
+        )
+    if scheduler.pool.allocated > scheduler.pool.capacity_frames:
+        bad(
+            "fleet_pool_capacity",
+            f"allocated {scheduler.pool.allocated} frames of "
+            f"{scheduler.pool.capacity_frames} capacity",
+        )
+    swapped_total = int(scheduler.swapped.sum())
+    if swapped_total != scheduler.swap_device.used_pages:
+        bad(
+            "fleet_swap_conservation",
+            f"swap used_pages={scheduler.swap_device.used_pages} but regions "
+            f"hold {swapped_total}",
+        )
+    occupancy = scheduler.resident + scheduler.swapped
+    if scheduler.resident.size and (
+        int(scheduler.resident.min()) < 0 or int(scheduler.swapped.min()) < 0
+    ):
+        bad("fleet_region_occupancy", "negative resident or swapped page count")
+    over = np.nonzero(occupancy > scheduler.table.size_pages)[0]
+    if over.size:
+        r = int(over[0])
+        bad(
+            "fleet_region_occupancy",
+            f"region {r} holds {int(occupancy[r])} pages of "
+            f"{int(scheduler.table.size_pages[r])} ({over.size} region(s) affected)",
+        )
+    hot_aged = np.nonzero(
+        (scheduler.table.nr_accesses > 0) & (scheduler.table.age_us > 0)
+    )[0]
+    if hot_aged.size:
+        r = int(hot_aged[0])
+        bad(
+            "fleet_monitor_age",
+            f"region {r} has nr_accesses={int(scheduler.table.nr_accesses[r])} "
+            f"but age={int(scheduler.table.age_us[r])}us",
         )
     return out

@@ -30,6 +30,7 @@ from ..errors import SanitizerError
 from .checkers import (
     Violation,
     check_counter_coherence,
+    check_fleet_state,
     check_frame_conservation,
     check_huge_residency,
     check_present_swapped,
@@ -88,6 +89,8 @@ class SimSanitizer:
         self.epochs_checked = 0
         #: Monitor checkpoints passed (aggregation ticks).
         self.monitor_checkpoints = 0
+        #: Fleet checkpoints passed (fleet scheduler ticks).
+        self.fleet_checkpoints = 0
         self._engine: Optional[Any] = None
         self._hooked_kernel: Optional[Any] = None
         self._hooked_monitor: Optional[Any] = None
@@ -142,6 +145,15 @@ class SimSanitizer:
             return
         found = check_region_state(monitor, now)
         self.monitor_checkpoints += 1
+        self._record(found)
+        self._flush(now)
+
+    def checkpoint_fleet(self, scheduler: Any, now: int) -> None:
+        """Run the fleet-layer checks; called once per fleet tick."""
+        if not self.enabled:
+            return
+        found = check_fleet_state(scheduler, now)
+        self.fleet_checkpoints += 1
         self._record(found)
         self._flush(now)
 

@@ -19,6 +19,7 @@ and lands in :class:`repro.sim.metrics.KernelMetrics`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -43,12 +44,43 @@ from .swap import SwapDevice, ZramDevice
 from .thp import Khugepaged, ThpPolicy
 from .vma import VMA, AddressSpace
 
-__all__ = ["SimKernel"]
+__all__ = ["SimKernel", "Watermarks"]
 
 #: Reclaim starts above this fraction of physical frames...
 _HIGH_WATERMARK = 0.96
 #: ...and stops once usage falls below this fraction.
 _LOW_WATERMARK = 0.92
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Reclaim thresholds as fractions of a frame pool.
+
+    One shared instance can drive many consumers: each
+    :class:`SimKernel` evaluates it against its own frame table, and the
+    fleet scheduler evaluates the *same* values against the shared
+    physical pool — that is how per-process and fleet-wide reclaim stay
+    on one policy.  Kernels default to the classic kswapd-style pair;
+    assign ``kernel.watermarks`` after construction to override (the
+    frozen legacy oracle shares the constructor, so no new keyword).
+    """
+
+    high: float = _HIGH_WATERMARK
+    low: float = _LOW_WATERMARK
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low < self.high <= 1.0:
+            raise ConfigError(
+                f"watermarks need 0 < low < high <= 1: low={self.low}, high={self.high}"
+            )
+
+    def high_frames(self, n_frames: int) -> int:
+        """Frame count above which a reclaim pass starts."""
+        return int(n_frames * self.high)
+
+    def low_frames(self, n_frames: int) -> int:
+        """Frame count reclaim drives usage back down to."""
+        return int(n_frames * self.low)
 
 #: Fraction of swap-write latency charged to the workload: page-out I/O
 #: is mostly asynchronous writeback, but dirties shared queues.
@@ -104,6 +136,9 @@ class SimKernel:
         #: experiment driver *after* construction (the frozen legacy
         #: kernel shares this constructor, so no new keyword).
         self.sanitizer = None
+        #: Reclaim thresholds; the fleet scheduler assigns its shared
+        #: fleet-wide instance here (same post-construction pattern).
+        self.watermarks = Watermarks()
         #: ``"raise"`` aborts with :class:`SwapFullError` when an
         #: allocation cannot be backed; ``"shed"`` grants what fits,
         #: reverts the rest of the batch, and enters degraded mode.
@@ -394,10 +429,10 @@ class SimKernel:
             # allocated, forcing reclaim passes the workload alone would
             # not have triggered.
             allocated += self.faults.pressure_spike_frames(now)
-        high = int(self.frames.n_frames * _HIGH_WATERMARK)
+        high = self.watermarks.high_frames(self.frames.n_frames)
         if allocated <= high or self._oom_reclaim_failed:
             return
-        low = int(self.frames.n_frames * _LOW_WATERMARK)
+        low = self.watermarks.low_frames(self.frames.n_frames)
         self._reclaim(allocated - low, "pressure", now)
 
     def _reclaim(self, n_pages: int, trigger: str, now: int) -> None:

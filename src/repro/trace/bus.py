@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import logging
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from ..errors import ConfigError
 from ..sim.clock import VirtualClock
@@ -66,6 +66,11 @@ class TraceBus:
         self._wants_all = self._ring is not None
         #: Event counts by kind, in emission order of first appearance.
         self.counts: Dict[str, int] = {}
+        #: Per-group breakdowns by kind (``kind -> group -> count``),
+        #: fed only through :meth:`count_groups`; the fleet layer uses
+        #: per-tenant group keys.  ``counts`` stays the authoritative
+        #: total — every grouped occurrence is also counted there.
+        self.group_counts: Dict[str, Dict[str, int]] = {}
         self.n_events = 0
         self.first_time_us = -1
         self.last_time_us = -1
@@ -163,6 +168,37 @@ class TraceBus:
         if not self.n_events:
             self.first_time_us = now
         self.n_events += 1
+        self.last_time_us = now
+
+    def count_groups(self, event_type: Type[TraceEvent], counts: Mapping[str, int]) -> None:
+        """Bulk-account many ``event_type`` occurrences split by group.
+
+        The fleet scheduler accumulates per-tenant counters in flat
+        arrays and flushes them here in one call, so per-tenant
+        attribution rides the same no-materialisation fast path as
+        :meth:`count`: the lifetime counters, ``n_events`` and the
+        first/last timestamps move exactly as ``count()`` called once
+        per occurrence would, and the per-group split lands in
+        :attr:`group_counts`.  Zero entries are ignored; negative
+        counts are a caller bug.
+        """
+        total = 0
+        for n in counts.values():
+            if n < 0:
+                raise ConfigError(f"negative group count: {dict(counts)!r}")
+            total += n
+        if not total:
+            return
+        kind = event_type.kind
+        by_group = self.group_counts.setdefault(kind, {})
+        for group, n in counts.items():
+            if n:
+                by_group[group] = by_group.get(group, 0) + int(n)
+        self.counts[kind] = self.counts.get(kind, 0) + total
+        now = self.clock.now
+        if not self.n_events:
+            self.first_time_us = now
+        self.n_events += total
         self.last_time_us = now
 
     def emit(self, event: TraceEvent) -> None:

@@ -14,11 +14,45 @@ image plus a small hot request-serving core with occasional warm spikes.
 
 from __future__ import annotations
 
+from typing import Tuple
+
+from ..errors import ConfigError
 from ..units import MIB, SEC
 from .base import WorkloadSpec
 from .patterns import ColdInit, CyclicSweep, Hotspot
 
-__all__ = ["SERVERLESS", "serverless_spec"]
+__all__ = ["SERVERLESS", "serverless_layout", "serverless_spec"]
+
+
+def serverless_layout(footprint: int, cold_share: float) -> Tuple[int, int, int]:
+    """Split ``footprint`` bytes into ``(cold, hot, warm)`` sizes.
+
+    The three components tile ``[0, footprint)`` exactly: every size is
+    a whole number of MiB (when ``footprint`` is), each is at least one
+    MiB, and they sum to ``footprint``.  The fleet layer builds its
+    tenant layouts through this same function, so the single-process
+    stand-in and a 10,000-tenant fleet agree on what a "serverless
+    process" looks like.
+    """
+    if not 0.0 < cold_share < 1.0:
+        raise ConfigError(f"cold_share must be in (0, 1): {cold_share}")
+    if footprint < 3 * MIB:
+        raise ConfigError(
+            f"serverless footprint below 3 MiB cannot fit cold|hot|warm: {footprint}"
+        )
+    # Cold takes its share rounded down to a MiB, clamped so the live
+    # half keeps at least 2 MiB (one each for hot and warm); hot takes
+    # 60% of the nominal live share, clamped into [1 MiB, live - 1 MiB];
+    # warm is the exact remainder.  The old unclamped layout could push
+    # hot/warm past the footprint for small footprints or extreme
+    # cold_share values.
+    cold = int(footprint * cold_share) // MIB * MIB
+    cold = min(max(cold, MIB), footprint - 2 * MIB)
+    live = footprint - cold
+    hot = int(footprint * (1.0 - cold_share) * 0.6) // MIB * MIB
+    hot = min(max(hot, MIB), live - MIB)
+    warm = live - hot
+    return cold, hot, warm
 
 
 def serverless_spec(
@@ -32,9 +66,7 @@ def serverless_spec(
     ``cold_share`` is the paper's RSS-vs-WSS gap (≈ 0.9 in production).
     """
     footprint = footprint_mib * MIB
-    cold = int(footprint * cold_share) // MIB * MIB
-    hot = int(footprint * (1.0 - cold_share) * 0.6) // MIB * MIB
-    warm = footprint - cold - hot
+    cold, hot, warm = serverless_layout(footprint, cold_share)
     return WorkloadSpec(
         name="serverless",
         suite="production",
@@ -45,11 +77,11 @@ def serverless_spec(
             # touched by request handling.
             ColdInit(offset=0, size=cold, init_us=5 * SEC),
             # Request-serving core: always hot.
-            Hotspot(offset=cold, size=max(MIB, hot), touches_per_sec=2000.0),
+            Hotspot(offset=cold, size=hot, touches_per_sec=2000.0),
             # Occasional warm activity (logging, periodic jobs).
             CyclicSweep(
-                offset=cold + max(MIB, hot),
-                size=max(MIB, warm),
+                offset=cold + hot,
+                size=warm,
                 period_us=60 * SEC,
                 active_share=0.1,
                 touches_per_sec=300.0,

@@ -15,6 +15,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.fleet",
     "repro.modules",
     "repro.monitor",
     "repro.runner",

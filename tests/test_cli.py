@@ -77,6 +77,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "p50" in out
 
+    def test_fleet_smoke(self, capsys, tmp_path):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        argv = ["fleet", "-n", "30", "--duration", "60", "--sanitize"]
+        assert main(argv + ["--out", str(out_a)]) == 0
+        assert main(argv + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        out = capsys.readouterr().out
+        assert "30 tenants" in out
+        assert "digest" in out
+
+    def test_fleet_sharded_smoke(self, capsys):
+        rc = main(["fleet", "-n", "30", "--duration", "60", "--shards", "3"])
+        assert rc == 0
+        assert "3 pool(s)" in capsys.readouterr().out
+
     def test_tune_smoke(self, capsys):
         # Tiny scale: the tuned value is meaningless, but the whole
         # sample→fit→peak→report pipeline must run.

@@ -128,6 +128,30 @@ class TestDispatch:
             counting.count(AccessSampled)
         assert counting.summary() == emitting.summary()
 
+    def test_count_groups_matches_count(self):
+        """Bulk grouped accounting equals count() called per occurrence,
+        with the per-group split recorded on the side."""
+        single, grouped = TraceBus(ring_capacity=0), TraceBus(ring_capacity=0)
+        for bus in (single, grouped):
+            bus.advance_to(7)
+        for _ in range(5):
+            single.count(AccessSampled)
+        grouped.count_groups(AccessSampled, {"t0": 2, "t1": 3, "t2": 0})
+        assert grouped.summary() == single.summary()
+        assert grouped.group_counts == {"AccessSampled": {"t0": 2, "t1": 3}}
+        grouped.count_groups(AccessSampled, {"t1": 1})
+        assert grouped.group_counts["AccessSampled"]["t1"] == 4
+
+    def test_count_groups_all_zero_is_a_no_op(self):
+        bus = TraceBus(ring_capacity=0)
+        bus.count_groups(AccessSampled, {"t0": 0})
+        assert bus.n_events == 0 and bus.group_counts == {}
+
+    def test_count_groups_rejects_negative(self):
+        bus = TraceBus(ring_capacity=0)
+        with pytest.raises(ConfigError):
+            bus.count_groups(AccessSampled, {"t0": -1})
+
 
 class TestSubscriberIsolation:
     def test_raising_subscriber_detached_and_reported_once(self, caplog):
