@@ -34,7 +34,13 @@ Mirrors the upstream user-space tooling's verbs:
   fleet (thousands of serverless tenants against one shared physical
   pool) in one process, optionally sharded over the sweep worker pool
   (``--shards``/``--jobs``); ``--out FILE`` writes the canonical
-  summary JSON two seeded runs of which compare byte-identical.
+  summary JSON two seeded runs of which compare byte-identical;
+  ``--faults PLAN`` injects fleet-level chaos (tenant storms,
+  pool-pressure spikes), ``--journal DIR``/``--resume`` write-ahead
+  journal sharded runs;
+* ``daos resume <checkpoint>``           — complete an interrupted
+  ``run`` or ``fleet`` from its latest crash-consistent checkpoint
+  (written via ``--checkpoint FILE [--checkpoint-every N]``).
 
 ``run``, ``schemes`` and ``tune`` also accept ``--trace FILE`` to write
 the run's event stream alongside their normal report.  ``run``,
@@ -42,8 +48,11 @@ the run's event stream alongside their normal report.  ``run``,
 (TOML/JSON, see ``repro.faults``) into the run.
 
 Errors derived from :class:`~repro.errors.DaosError` print one line to
-stderr and exit 2; anything else keeps its full traceback (it is a bug,
-not a usage problem).
+stderr and exit 2 — except two failure classes with their own codes so
+scripts can tell them apart: a sweep whose points were killed by the
+supervisor's watchdog exits **3**, and a checkpoint that cannot be
+trusted (digest mismatch, format/version skew) exits **4**.  Anything
+else keeps its full traceback (it is a bug, not a usage problem).
 
 Invoke as ``python -m repro.cli`` or via the ``daos`` entry point.
 """
@@ -62,7 +71,7 @@ from .analysis.heatmap import build_heatmap, render_heatmap
 from .analysis.recording import heatmap_to_pgm, load_record, record_metadata, save_record
 from .analysis.report import format_normalized_rows
 from .analysis.wss import wss_from_snapshots
-from .errors import ConfigError, DaosError
+from .errors import CheckpointError, ConfigError, DaosError, WatchdogTimeout
 from .faults import builtin_chaos_plan, load_fault_plan
 from .lint import (
     DEFAULT_BASELINE_NAME,
@@ -131,6 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the SimSanitizer invariant checks at every epoch boundary "
         "(also enabled by DAOS_SANITIZE=1)",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write crash-consistent state snapshots here "
+        "(resume with 'daos resume FILE')",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="EPOCHS",
+        help="checkpoint every N epochs (0 = once at the midpoint)",
     )
 
     p_schemes = sub.add_parser("schemes", help="run with a custom scheme file")
@@ -203,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every point under the SimSanitizer invariant checks "
         "(also enabled by DAOS_SANITIZE=1)",
+    )
+    p_sweep.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead journal completed points to DIR/journal.jsonl",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed points from the --journal directory and "
+        "re-execute only the rest",
+    )
+    p_sweep.add_argument(
+        "-o", "--out",
+        metavar="FILE",
+        help="write the canonical (volatile-free) report JSON here",
     )
 
     p_trace = sub.add_parser(
@@ -317,6 +355,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cross-check fleet invariants every tick "
         "(also enabled by DAOS_SANITIZE=1)",
+    )
+    p_fleet.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="inject this fault plan's fleet faults (tenant_storm, "
+        "pool_pressure_spike) into the run",
+    )
+    p_fleet.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead journal completed shards to DIR/journal.jsonl "
+        "(sharded runs only)",
+    )
+    p_fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed shards from the --journal directory",
+    )
+    p_fleet.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write crash-consistent fleet snapshots here "
+        "(single-pool runs only; resume with 'daos resume FILE')",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="TICKS",
+        help="checkpoint every N fleet ticks (0 = once at the midpoint)",
+    )
+
+    p_resume = sub.add_parser(
+        "resume", help="complete an interrupted run or fleet from a checkpoint"
+    )
+    p_resume.add_argument(
+        "checkpoint", help="file written by 'daos run/fleet --checkpoint'"
+    )
+    p_resume.add_argument(
+        "--allow-version-skew",
+        action="store_true",
+        help="resume even if the checkpoint was written by different code "
+        "(results may not be byte-identical)",
+    )
+    p_resume.add_argument(
+        "-o", "--out",
+        metavar="FILE",
+        help="write the canonical summary JSON here (fleet checkpoints)",
     )
 
     p_lint = sub.add_parser(
@@ -459,6 +545,8 @@ def _cmd_run(args) -> int:
             trace=bus,
             faults=plan,
             sanitize=True if args.sanitize else None,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
         )
     finally:
         if sink is not None:
@@ -479,8 +567,37 @@ def _cmd_run(args) -> int:
             f"faults       : plan {plan.name or 'unnamed'} "
             f"({len(plan)} spec(s)), {shed} page(s) shed"
         )
+    if args.checkpoint:
+        print(f"checkpoint   : latest snapshot in {args.checkpoint}")
     if sink is not None:
         print(f"trace: {sink.n_written} events written to {args.trace}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    """Complete an interrupted run or fleet from its checkpoint file."""
+    from .recovery import read_checkpoint_header, resume_checkpoint
+
+    header = read_checkpoint_header(args.checkpoint)
+    print(
+        f"resuming     : {header['kind']} checkpoint at "
+        f"t={header['time_us'] / 1e6:.2f}s "
+        f"({header['payload_bytes']} payload bytes)"
+    )
+    result = resume_checkpoint(
+        args.checkpoint, strict_version=not args.allow_version_skew
+    )
+    if header["kind"] == "fleet":
+        print(f"fleet        : {result.n_tenants} tenants, {result.n_regions} regions")
+        print(f"final RSS    : {format_size(result.final_resident_bytes)}")
+        print(f"digest       : {result.digest()}")
+        if args.out:
+            Path(args.out).write_text(result.canonical_json() + "\n")
+            print(f"summary written to {args.out}")
+    else:
+        _print_run(result, None)
+        if args.out:
+            raise ConfigError("--out applies to fleet checkpoints only")
     return 0
 
 
@@ -635,14 +752,24 @@ def _cmd_sweep(args) -> int:
     grid, summarize = _sweep_grid_from_args(args)
 
     def progress(done, total, outcome) -> None:
-        status = "cached" if outcome.cached else ("FAILED" if not outcome.ok else "ran")
+        if outcome.cached:
+            status = "cached"
+        elif outcome.replayed:
+            status = "replay"
+        else:
+            status = "FAILED" if not outcome.ok else "ran"
         line = f"\rsweep [{done}/{total}] {status:6s} {outcome.point.label():<60.60s}"
         sys.stderr.write(line)
         sys.stderr.flush()
 
     plan = load_fault_plan(args.faults) if args.faults else None
     from .sanitize import default_enabled
+    from .trace.events import WorkerReaped
 
+    # A dedicated bus for supervisor events (worker reaps): the sweep
+    # itself runs in worker processes, so this bus only ever sees the
+    # parent-side supervision stream.
+    supervisor_bus = TraceBus(ring_capacity=0)
     runner = SweepRunner(
         grid,
         jobs=args.jobs,
@@ -652,15 +779,22 @@ def _cmd_sweep(args) -> int:
         point_timeout_s=args.point_timeout,
         faults=plan,
         sanitize=args.sanitize or default_enabled(),
+        journal_dir=args.journal,
+        resume=args.resume,
+        trace=supervisor_bus,
     )
     report = runner.run()
     sys.stderr.write("\n")
     print(
         f"{report.n_total} points: {report.n_cached} cached, "
+        f"{report.n_replayed} replayed, "
         f"{report.n_executed} executed, {report.n_failed} failed "
         f"in {report.elapsed_s:.1f}s wall "
         f"({report.point_wall_s():.1f}s of point time)"
     )
+    n_reaped = supervisor_bus.summary().counts.get(WorkerReaped.kind, 0)
+    if n_reaped:
+        print(f"supervisor   : {n_reaped} worker(s) reaped", file=sys.stderr)
     for outcome in report.failures():
         kind = f" [{outcome.error_type}]" if outcome.error_type else ""
         print(
@@ -675,6 +809,13 @@ def _cmd_sweep(args) -> int:
     if summarize is not None and report.n_failed < report.n_total:
         print()
         print(summarize(report))
+    if args.out:
+        Path(args.out).write_text(report.canonical_json() + "\n")
+        print(f"report written to {args.out}")
+    if report.watchdog_failures():
+        # The distinct exit code scripts key on: points died to the
+        # supervisor's deadline, not to their own exceptions.
+        return 3
     return 1 if report.n_failed else 0
 
 
@@ -810,7 +951,10 @@ def _cmd_fleet(args) -> int:
 
     cfg = _fleet_config_from_args(args)
     sanitize = args.sanitize or default_enabled()
+    plan = load_fault_plan(args.faults) if args.faults else None
     if args.naive:
+        if plan is not None:
+            raise ConfigError("--faults needs the batched scheduler, not --naive")
         results = run_fleet_naive(cfg)
         total_rss = sum(r.avg_rss_bytes for r in results)
         print(f"naive fleet  : {len(results)} tenant run(s), one kernel each")
@@ -818,8 +962,19 @@ def _cmd_fleet(args) -> int:
         print(f"major faults : {sum(r.breakdown.get('major_faults', 0) for r in results)}")
         return 0
     if args.shards > 1:
+        if args.checkpoint:
+            raise ConfigError(
+                "--checkpoint needs a single-pool fleet; sharded runs "
+                "journal instead (--journal DIR, --resume)"
+            )
         merged = run_fleet_sharded(
-            cfg, n_shards=args.shards, jobs=args.jobs, sanitize=sanitize
+            cfg,
+            n_shards=args.shards,
+            jobs=args.jobs,
+            sanitize=sanitize,
+            faults=plan,
+            journal_dir=args.journal,
+            resume=args.resume,
         )
         text = json.dumps(merged, sort_keys=True, separators=(",", ":"))
         print(
@@ -832,7 +987,32 @@ def _cmd_fleet(args) -> int:
               f"{merged['evicted_pages']} evicted under pressure")
         print(f"digests      : {' '.join(merged['shard_digests'])}")
     else:
-        result = run_fleet(cfg, sanitize=True if sanitize else None)
+        if args.resume or args.journal:
+            raise ConfigError(
+                "--journal/--resume need a sharded fleet (--shards > 1); "
+                "single-pool runs checkpoint instead (--checkpoint FILE)"
+            )
+        injector = None
+        if plan is not None:
+            from .faults import FaultInjector
+
+            injector = FaultInjector(plan)
+        if args.checkpoint:
+            from .fleet import FleetScheduler
+            from .recovery.codec import checkpoint_fleet_stepping
+
+            scheduler = FleetScheduler(
+                cfg, sanitize=True if sanitize else None, faults=injector
+            )
+            checkpoint_fleet_stepping(
+                scheduler, args.checkpoint, every_ticks=args.checkpoint_every
+            )
+            result = scheduler.finish()
+            print(f"checkpoint   : latest snapshot in {args.checkpoint}")
+        else:
+            result = run_fleet(
+                cfg, sanitize=True if sanitize else None, faults=injector
+            )
         text = result.canonical_json()
         rss_ratio = result.final_resident_bytes / result.total_footprint_bytes
         print(f"fleet        : {result.n_tenants} tenants, {result.n_regions} regions")
@@ -895,6 +1075,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "report": _cmd_report,
     "run": _cmd_run,
+    "resume": _cmd_resume,
     "schemes": _cmd_schemes,
     "tune": _cmd_tune,
     "wss": _cmd_wss,
@@ -917,6 +1098,15 @@ def main(argv=None) -> int:
         set_default_enabled(True)
     try:
         return _COMMANDS[args.command](args)
+    except WatchdogTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except CheckpointError as exc:
+        # An untrustworthy checkpoint/journal is its own failure class:
+        # the operator must decide between re-running and skipping the
+        # version check, so it must not look like a usage error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
     except DaosError as exc:
         # Usage/configuration problems get one line and a distinct exit
         # code; anything else is a bug and keeps its full traceback.

@@ -64,3 +64,23 @@ class SanitizerError(DaosError):
 class SweepError(DaosError):
     """A sweep finished with failed points and the caller asked for
     fail-fast semantics (:meth:`repro.sweep.runner.SweepReport.raise_if_failed`)."""
+
+
+class CheckpointError(DaosError):
+    """A checkpoint could not be written, read, or trusted.
+
+    Covers digest mismatches (the payload hash in the header does not
+    match the bytes on disk), format/version skew, and snapshotting a
+    queue whose pending state cannot be reconstructed.  The CLI maps
+    this class to exit code 4 so operators can distinguish a corrupt
+    checkpoint from an ordinary configuration error (exit 2).
+    """
+
+
+class WatchdogTimeout(DaosError):
+    """A supervised worker exceeded its deadline and was reaped.
+
+    Raised when a sweep finishes with points that failed *because the
+    watchdog killed them* (as opposed to the point itself raising).  The
+    CLI maps this class to exit code 3.
+    """

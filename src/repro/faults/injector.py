@@ -43,18 +43,25 @@ __all__ = ["FaultInjector", "worker_crash_decision"]
 
 
 def worker_crash_decision(
-    plan_seed: int, probability: float, point_index: int, attempt: int
+    plan_seed: int,
+    probability: float,
+    point_index: int,
+    attempt: int,
+    *,
+    stream: str = "crash",
 ) -> bool:
     """Stateless crash decision for one sweep point attempt.
 
     Only the first attempt (``attempt == 0``) can crash, so one bounded
     retry always recovers an injected crash; the hash keeps the
     decision identical across the serial and spawn-pool paths.
+    ``stream`` decorrelates kinds sharing the hook (crash vs. hang).
     """
     if attempt > 0:
         return False
+    prefix = "daos-worker-crash" if stream == "crash" else f"daos-worker-{stream}"
     digest = hashlib.sha256(
-        f"daos-worker-crash:{plan_seed}:{point_index}".encode("ascii")
+        f"{prefix}:{plan_seed}:{point_index}".encode("ascii")
     ).digest()
     draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
     return draw < probability
@@ -214,7 +221,28 @@ class FaultInjector:
         return failed
 
     # ------------------------------------------------------------------
-    # sweep hook (stateless; usable parent-side before dispatch)
+    # fleet hooks
+    # ------------------------------------------------------------------
+    def fleet_storm_active(self, now: int) -> bool:
+        """fleet.demand: is a tenant-storm window active?  While it is,
+        every warm region demands its full working set at once."""
+        active = False
+        for index, spec in self._specs("tenant_storm"):
+            if self._window_active(index, spec, now):
+                active = True
+        return active
+
+    def fleet_pressure_frames(self, now: int) -> int:
+        """fleet.pressure: phantom allocated frames at the fleet's
+        shared watermark check (sum over active spike windows)."""
+        extra = 0
+        for index, spec in self._specs("pool_pressure_spike"):
+            if self._window_active(index, spec, now):
+                extra += int(spec.magnitude)
+        return extra
+
+    # ------------------------------------------------------------------
+    # sweep hooks (stateless; usable parent-side before dispatch)
     # ------------------------------------------------------------------
     def worker_crash(self, point_index: int, attempt: int) -> bool:
         """sweep.worker: does this point's attempt crash?  Stateless —
@@ -223,6 +251,18 @@ class FaultInjector:
         for index, spec in self._specs("worker_crash"):
             if worker_crash_decision(
                 self.plan.seed, spec.probability, point_index, attempt
+            ):
+                self._emit(index, spec, 0)
+                return True
+        return False
+
+    def worker_hang(self, point_index: int, attempt: int) -> bool:
+        """sweep.worker: does this point's attempt hang until the
+        watchdog reaps it?  Stateless like :meth:`worker_crash`, with a
+        distinct stream label so crash and hang plans stay independent."""
+        for index, spec in self._specs("worker_hang"):
+            if worker_crash_decision(
+                self.plan.seed, spec.probability, point_index, attempt, stream="hang"
             ):
                 self._emit(index, spec, 0)
                 return True

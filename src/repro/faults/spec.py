@@ -31,6 +31,17 @@ kind                      hook point     effect while active
 ``worker_crash``          sweep.worker   a sweep point's first attempt raises
                                          FaultError with ``probability``
                                          (decided statelessly per point)
+``worker_hang``           sweep.worker   a sweep point's first attempt hangs
+                                         until the supervisor's watchdog
+                                         reaps it (stateless, like
+                                         ``worker_crash``)
+``tenant_storm``          fleet.demand   every warm tenant region demands its
+                                         full working set at once (thundering
+                                         herd); the shed path absorbs what
+                                         the pool cannot back
+``pool_pressure_spike``   fleet.pressure ``magnitude`` phantom frames count
+                                         as allocated at the fleet watermark
+                                         check, forcing global evictions
 ========================  =============  ====================================
 """
 
@@ -57,6 +68,9 @@ HOOK_POINTS: Dict[str, str] = {
     "engine_stall": "engine.apply",
     "probe_failure": "tuner.probe",
     "worker_crash": "sweep.worker",
+    "worker_hang": "sweep.worker",
+    "tenant_storm": "fleet.demand",
+    "pool_pressure_spike": "fleet.pressure",
 }
 
 FAULT_KINDS = frozenset(HOOK_POINTS)
@@ -65,6 +79,7 @@ FAULT_KINDS = frozenset(HOOK_POINTS)
 _NEEDS_MAGNITUDE = {
     "pressure_spike": "extra allocated frames",
     "late_epoch": "extra stall microseconds per epoch",
+    "pool_pressure_spike": "phantom allocated frames",
 }
 
 

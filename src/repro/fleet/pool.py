@@ -59,10 +59,23 @@ class FleetFramePool:
         self.allocated -= n
 
     # -- watermark policy (shared with SimKernel) -----------------------
-    def over_high(self, watermarks: Watermarks) -> bool:
-        """Whether a pressure-reclaim pass should start."""
-        return self.allocated > watermarks.high_frames(self.capacity_frames)
+    def over_high(self, watermarks: Watermarks, *, extra_frames: int = 0) -> bool:
+        """Whether a pressure-reclaim pass should start.
 
-    def pressure_target(self, watermarks: Watermarks) -> int:
+        ``extra_frames`` are phantom allocations the fault injector adds
+        at the check (``pool_pressure_spike``): they raise the perceived
+        pressure without ever being charged, so conservation invariants
+        hold while the eviction path is exercised.
+        """
+        return self.allocated + extra_frames > watermarks.high_frames(
+            self.capacity_frames
+        )
+
+    def pressure_target(self, watermarks: Watermarks, *, extra_frames: int = 0) -> int:
         """Frames to evict to get back under the low watermark."""
-        return max(0, self.allocated - watermarks.low_frames(self.capacity_frames))
+        return max(
+            0,
+            self.allocated
+            + extra_frames
+            - watermarks.low_frames(self.capacity_frames),
+        )

@@ -199,10 +199,14 @@ class FleetScheduler:
         tenant_range: Optional[Tuple[int, int]] = None,
         trace: Optional[TraceBus] = None,
         sanitize: Any = None,
+        faults: Any = None,
     ) -> None:
         self.cfg = cfg
         self.lo, self.hi = tenant_range if tenant_range is not None else (0, cfg.n_tenants)
         self.trace = trace
+        #: Optional :class:`~repro.faults.FaultInjector` evaluated at the
+        #: fleet's demand and pressure hooks every tick.
+        self.faults = faults
 
         from ..sanitize import SimSanitizer, default_enabled
 
@@ -270,6 +274,11 @@ class FleetScheduler:
         self.peak_resident_pages = 0
         self.peak_system_bytes = 0
 
+        # Run-loop state, populated by start_loop(); kept as attributes
+        # (not locals) so the recovery codec can detach and restore them.
+        self.queue: Optional[EventQueue] = None
+        self.wall_start = 0.0
+
     # ------------------------------------------------------------------
     # Region table construction
     # ------------------------------------------------------------------
@@ -331,6 +340,11 @@ class FleetScheduler:
             (elapsed + self._phase) % self._period
             < (self._duty * self._period).astype(np.int64)
         )
+        if self.faults is not None and self.faults.fleet_storm_active(now):
+            # Tenant storm: a thundering herd wakes every live warm
+            # region at once; the shed path absorbs what the pool
+            # cannot back, so the fleet degrades instead of aborting.
+            warm_active = alive & is_warm
 
         # -- demand ----------------------------------------------------
         frac = np.clip(elapsed / np.maximum(self._init, 1), 0.0, 1.0)
@@ -399,8 +413,15 @@ class FleetScheduler:
             self._pageout(idle, now)
 
         # -- pressure pass: shared watermarks --------------------------
-        if self.pool.over_high(self.watermarks):
-            self._evict(self.pool.pressure_target(self.watermarks), touched, now)
+        extra = (
+            self.faults.fleet_pressure_frames(now) if self.faults is not None else 0
+        )
+        if self.pool.over_high(self.watermarks, extra_frames=extra):
+            self._evict(
+                self.pool.pressure_target(self.watermarks, extra_frames=extra),
+                touched,
+                now,
+            )
 
         resident_pages = int(self.resident.sum())
         system = resident_pages * PAGE_SIZE + self.swap_device.dram_overhead_bytes()
@@ -467,16 +488,31 @@ class FleetScheduler:
     # ------------------------------------------------------------------
     # The run loop
     # ------------------------------------------------------------------
-    def run(self) -> FleetResult:
-        """Drive the fleet to ``duration_us`` and freeze the result."""
-        cfg = self.cfg
-        wall_start = time.perf_counter()
+    def start_loop(self) -> EventQueue:
+        """Create the event queue and register the fleet tick.
+
+        Split out of :meth:`run` so the recovery codec can pause the
+        loop between ticks, checkpoint the scheduler, and resume a
+        byte-identical continuation on a fresh queue.
+        """
+        self.wall_start = time.perf_counter()
         queue = EventQueue()
         if self.trace is not None:
             self.trace.bind_clock(queue.clock)
-        queue.schedule_periodic(cfg.tick_us, self._tick, name="fleet-tick")
-        queue.run_until(cfg.duration_us)
+        queue.schedule_periodic(self.cfg.tick_us, self._tick, name="fleet-tick")
+        self.queue = queue
+        return queue
 
+    def run(self) -> FleetResult:
+        """Drive the fleet to ``duration_us`` and freeze the result."""
+        self.start_loop()
+        self.queue.run_until(self.cfg.duration_us)
+        return self.finish()
+
+    def finish(self) -> FleetResult:
+        """Flush per-tenant telemetry and freeze the :class:`FleetResult`."""
+        cfg = self.cfg
+        wall_start = getattr(self, "wall_start", time.perf_counter())
         if self.trace is not None:
             # Per-tenant attribution rides the bus's no-materialisation
             # fast path: one bulk flush of the accumulated counters.
@@ -536,10 +572,11 @@ def run_fleet(
     tenant_range: Optional[Tuple[int, int]] = None,
     trace: Optional[TraceBus] = None,
     sanitize: Any = None,
+    faults: Any = None,
 ) -> FleetResult:
     """Build a scheduler for ``cfg`` and run it to completion."""
     return FleetScheduler(
-        cfg, tenant_range=tenant_range, trace=trace, sanitize=sanitize
+        cfg, tenant_range=tenant_range, trace=trace, sanitize=sanitize, faults=faults
     ).run()
 
 

@@ -63,12 +63,28 @@ _ADDITIVE = (
 
 
 def fleet_shard_point(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one shard; the sweep cache/pool executes this by name."""
+    """Run one shard; the sweep cache/pool executes this by name.
+
+    An optional ``faults`` key carries a serialized
+    :class:`~repro.faults.FaultPlan` (its :meth:`to_dict` form — JSON
+    scalars, so the point fingerprint covers the plan); each shard
+    builds its own injector, keyed off the plan seed alone, so a
+    sharded chaos run replays byte-identically.
+    """
     kwargs = dict(params)
     lo = kwargs.pop("lo")
     hi = kwargs.pop("hi")
+    plan_dict = kwargs.pop("faults", None)
+    injector = None
+    if plan_dict is not None:
+        from ..faults.injector import FaultInjector
+        from ..faults.plan import FaultPlan
+
+        injector = FaultInjector(FaultPlan.from_dict(plan_dict))
     cfg = FleetConfig.from_params(kwargs)
-    result = FleetScheduler(cfg, tenant_range=(int(lo), int(hi))).run()
+    result = FleetScheduler(
+        cfg, tenant_range=(int(lo), int(hi)), faults=injector
+    ).run()
     summary = result.as_dict(include_volatile=False)
     summary["digest"] = result.digest()
     return summary
@@ -77,13 +93,22 @@ def fleet_shard_point(params: Dict[str, Any]) -> Dict[str, Any]:
 register_point_function("fleet_shard", fleet_shard_point)
 
 
-def shard_grid(cfg: FleetConfig, n_shards: int) -> SweepGrid:
-    """Partition ``cfg``'s tenants into ``n_shards`` contiguous ranges."""
+def shard_grid(
+    cfg: FleetConfig, n_shards: int, *, faults: Optional[Any] = None
+) -> SweepGrid:
+    """Partition ``cfg``'s tenants into ``n_shards`` contiguous ranges.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) rides along in each
+    point's params in its plain-dict form, so the cache fingerprint
+    distinguishes chaos shards from clean ones.
+    """
     if not 1 <= n_shards <= cfg.n_tenants:
         raise ConfigError(
             f"need 1 <= n_shards <= n_tenants: {n_shards} of {cfg.n_tenants}"
         )
     base = cfg.as_params()
+    if faults is not None:
+        base["faults"] = faults.to_dict()
     bounds = [cfg.n_tenants * i // n_shards for i in range(n_shards + 1)]
     points = [
         SweepPoint.make(SHARD_POINT_FN, {**base, "lo": lo, "hi": hi})
@@ -99,15 +124,26 @@ def run_fleet_sharded(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     sanitize: bool = False,
+    faults: Optional[Any] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Any]:
     """Run every shard (spawn pool when ``jobs > 1``) and merge.
 
     Returns the merged fleet summary: additive fields summed across
     pools, plus the ordered per-shard digests — the determinism handle
-    a caller can compare across invocations.
+    a caller can compare across invocations.  ``journal_dir`` write-ahead
+    journals every completed shard; with ``resume=True`` completed
+    shards are replayed from the journal and only in-flight ones
+    re-execute.
     """
     runner = SweepRunner(
-        shard_grid(cfg, n_shards), jobs=jobs, cache_dir=cache_dir, sanitize=sanitize
+        shard_grid(cfg, n_shards, faults=faults),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        sanitize=sanitize,
+        journal_dir=journal_dir,
+        resume=resume,
     )
     report = runner.run()
     if report.failures():

@@ -33,6 +33,11 @@ DF320     a function rebinds a module global (``global x`` plus an
           assignment) — per-process state that silently diverges
           across spawn-pool workers; error inside fingerprint-feeding
           modules (``sweep/``), warning elsewhere
+DF330     a ``bare except:`` / ``except Exception:`` /
+          ``except BaseException:`` handler swallows the exception —
+          no re-raise, no logging call, and the bound exception (if
+          any) never read — the failure mode that turns a crashed
+          recovery path into silent data loss
 ========  ============================================================
 
 Suppression and baseline support are shared with the determinism pass:
@@ -360,6 +365,64 @@ class _DataflowVisitor(ast.NodeVisitor):
         operands = [node.left] + list(node.comparators)
         for left, right in zip(operands, operands[1:]):
             self._check_units(left, right, node, "comparison")
+        self.generic_visit(node)
+
+    # -- DF330: broad except that swallows the exception ------------------
+    @staticmethod
+    def _broad_catch(handler: ast.ExceptHandler) -> Optional[str]:
+        """What makes this handler catch-everything, or None."""
+        if handler.type is None:
+            return "a bare except:"
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            name = _terminal_name(node)
+            if name in ("Exception", "BaseException"):
+                return f"except {name}:"
+        return None
+
+    @staticmethod
+    def _is_logging_call(call: ast.Call) -> bool:
+        """A ``*log*.debug/info/warning/error/exception/critical/log``
+        call — the structured escape hatch DF330 accepts."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in (
+            "debug", "info", "warning", "error", "exception", "critical", "log"
+        ):
+            return False
+        base = _dotted_base(func.value)
+        return base is not None and "log" in base.lower()
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        caught = self._broad_catch(node)
+        if caught is not None:
+            swallows = True
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Raise):
+                        swallows = False  # re-raises (or wraps)
+                    elif isinstance(sub, ast.Call) and self._is_logging_call(sub):
+                        swallows = False  # records the failure
+                    elif (
+                        node.name is not None
+                        and isinstance(sub, ast.Name)
+                        and sub.id == node.name
+                    ):
+                        swallows = False  # the exception value is consumed
+            if swallows:
+                self.emit(
+                    "DF330",
+                    f"{caught} swallows the exception — no re-raise, no "
+                    f"logging, and the caught value is never read; a crashed "
+                    f"recovery path becomes silent data loss — narrow the "
+                    f"type, re-raise, or log what was caught",
+                    node,
+                )
         self.generic_visit(node)
 
     # -- DF320: module-global mutation (spawn-pool hazard) ----------------

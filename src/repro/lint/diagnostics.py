@@ -98,6 +98,7 @@ CODES: Dict[str, tuple] = {
     "DF303": (Severity.ERROR, "in-place op on aliasing slices of one array"),
     "DF310": (Severity.ERROR, "unit-confused arithmetic between suffixed names"),
     "DF320": (Severity.WARNING, "function mutates a module global (spawn hazard)"),
+    "DF330": (Severity.ERROR, "broad except handler swallows the exception"),
 }
 
 

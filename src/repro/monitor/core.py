@@ -165,6 +165,26 @@ class DataAccessMonitor:
         self._events = []
         self.running = False
 
+    def tick_handlers(self) -> dict:
+        """Periodic-name → bound-tick map, mirroring :meth:`start`'s
+        registration names.  Checkpoint restore uses it to re-register
+        the monitor's pending ticks on a fresh queue."""
+        return {
+            "sample": self.sample_tick,
+            "aggregate": self.aggregate_tick,
+            "update": self.regions_update_tick,
+        }
+
+    def adopt_events(self, events) -> None:
+        """Adopt re-registered periodic handles after a checkpoint
+        restore.  Unlike :meth:`start` this must *not* re-derive the
+        region layout — the restored RegionArray (ages, access counts,
+        sampling addresses) is the monitor's state."""
+        if self.running:
+            raise MonitorStateError("monitor already running")
+        self._events = list(events)
+        self.running = True
+
     # ------------------------------------------------------------------
     # Region initialisation and layout updates
     # ------------------------------------------------------------------

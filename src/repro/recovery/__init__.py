@@ -1,0 +1,44 @@
+"""Crash consistency for the reproduction: checkpoints, journals, supervision.
+
+Three defenses, one package (DESIGN.md §16):
+
+* :mod:`repro.recovery.codec` — a versioned, digest-stamped checkpoint
+  codec over the full simulation state; ``restore()`` proves the repo's
+  strongest contract: a run checkpointed at epoch *k* and resumed is
+  byte-identical to the uninterrupted run.
+* :mod:`repro.recovery.journal` — a write-ahead journal for sweeps and
+  sharded fleet runs; ``--resume`` replays completed points and
+  re-executes only in-flight ones.
+* :mod:`repro.recovery.supervisor` — per-worker supervision over the
+  sweep spawn pool: liveness heartbeats, deterministic watchdog
+  timeouts, stuck-worker reaping and seeded-backoff reassignment.
+"""
+
+from .codec import (
+    CHECKPOINT_FORMAT,
+    checkpoint_fleet,
+    checkpoint_run,
+    checkpoint_run_stepping,
+    read_checkpoint_header,
+    restore_fleet,
+    restore_run,
+    resume_checkpoint,
+    state_digest,
+)
+from .journal import JOURNAL_FORMAT, SweepJournal
+from .supervisor import PointSupervisor
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "JOURNAL_FORMAT",
+    "PointSupervisor",
+    "SweepJournal",
+    "checkpoint_fleet",
+    "checkpoint_run",
+    "checkpoint_run_stepping",
+    "read_checkpoint_header",
+    "restore_fleet",
+    "restore_run",
+    "resume_checkpoint",
+    "state_digest",
+]

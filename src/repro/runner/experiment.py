@@ -43,11 +43,53 @@ from .results import RunResult
 __all__ = [
     "MachineBuild",
     "TenantBuild",
+    "SnapshotRecorder",
+    "RawSnapshotRecorder",
     "build_machine",
     "build_tenant",
+    "ExperimentRun",
     "run_experiment",
     "autotune_scheme",
 ]
+
+
+class SnapshotRecorder:
+    """Downsampling snapshot recorder, as a trace-bus subscriber.
+
+    A module-level class (not a closure) so a mid-run checkpoint can
+    pickle it — the stride counter *is* simulation state: restoring it
+    off by one would shift every later snapshot.
+    """
+
+    __slots__ = ("monitor", "store", "stride", "n")
+
+    def __init__(self, monitor, store, stride: int):
+        self.monitor = monitor
+        self.store = store
+        self.stride = int(stride)
+        self.n = 0
+
+    def __call__(self, ev) -> None:
+        if self.n % self.stride == 0:
+            self.store.append(self.monitor.snapshot(ev.time_us))
+        self.n += 1
+
+
+class RawSnapshotRecorder:
+    """The same recorder for the bus-less path, as a raw monitor
+    callback receiving ``(monitor, now)``."""
+
+    __slots__ = ("store", "stride", "n")
+
+    def __init__(self, store, stride: int):
+        self.store = store
+        self.stride = int(stride)
+        self.n = 0
+
+    def __call__(self, mon, now: int) -> None:
+        if self.n % self.stride == 0:
+            self.store.append(mon.snapshot(now))
+        self.n += 1
 
 
 def replace_quota(quota):
@@ -146,6 +188,10 @@ class TenantBuild:
     sanitizer: Optional[object]
     trace: Optional[TraceBus]
     snapshots: Optional[List] = field(default=None)
+    #: The snapshot recorder wired in :func:`build_tenant`, if any —
+    #: kept here so checkpoint restore can re-subscribe it with its
+    #: stride counter intact.
+    recorder: Optional[object] = field(default=None)
 
     def start(self, queue: EventQueue) -> None:
         """Bind the run's clock and start the monitor on ``queue``."""
@@ -205,6 +251,7 @@ def build_tenant(
 
     monitor = None
     engine = None
+    recorder = None
     snapshots = [] if (cfg.record or keep_snapshots) else None
     if cfg.monitor is not None:
         primitive = (
@@ -224,26 +271,16 @@ def build_tenant(
             n_aggr = spec.duration_us // monitor.attrs.aggregation_interval_us
             target = keep_snapshots or 240
             stride = max(1, int(n_aggr // target))
-            counter = {"n": 0}
 
             if trace is not None:
                 # Snapshot recording is a bus subscriber: the monitor
                 # emits RegionsAggregated right before its callbacks run,
                 # on the same region state.
-                def _record_ev(ev, _mon=monitor, _store=snapshots, _stride=stride, _c=counter):
-                    if _c["n"] % _stride == 0:
-                        _store.append(_mon.snapshot(ev.time_us))
-                    _c["n"] += 1
-
-                trace.subscribe(RegionsAggregated, _record_ev)
+                recorder = SnapshotRecorder(monitor, snapshots, stride)
+                trace.subscribe(RegionsAggregated, recorder)
             else:
-
-                def _record(mon, now, _store=snapshots, _stride=stride, _c=counter):
-                    if _c["n"] % _stride == 0:
-                        _store.append(mon.snapshot(now))
-                    _c["n"] += 1
-
-                monitor.register_raw_callback(_record)
+                recorder = RawSnapshotRecorder(snapshots, stride)
+                monitor.register_raw_callback(recorder)
         if cfg.schemes_text is not None:
             schemes = parse_schemes(cfg.schemes_text, monitor.attrs)
             if cfg.quota is not None:
@@ -272,7 +309,190 @@ def build_tenant(
         sanitizer=sanitizer,
         trace=trace,
         snapshots=snapshots,
+        recorder=recorder,
     )
+
+
+class ExperimentRun:
+    """One experiment as a steppable object: construct, :meth:`start`,
+    drive time with :meth:`run_until`, then :meth:`finish`.
+
+    This is :func:`run_experiment` split at its three natural seams so
+    the recovery layer can pause a run at any epoch boundary, snapshot
+    it, and later resume a byte-identical continuation.  The wiring
+    order inside is **exactly** the historical inline order — monitor
+    ticks registered before the epoch tick, khugepaged in between — so
+    same-instant tie-breaking is unchanged.
+    """
+
+    def __init__(
+        self,
+        workload: Union[str, WorkloadSpec],
+        *,
+        config: Union[str, ExperimentConfig] = "baseline",
+        machine: Union[str, MachineSpec] = "i3.metal",
+        seed: int = 0,
+        time_scale: float = 1.0,
+        swap: str = "zram",
+        attrs: Optional[MonitorAttrs] = None,
+        costs: Optional[CostModel] = None,
+        keep_snapshots: int = 0,
+        trace: Optional[TraceBus] = None,
+        collect_trace: bool = True,
+        faults: Optional[FaultPlan] = None,
+        oom_policy: Optional[str] = None,
+        kernel_cls: type = SimKernel,
+        sanitize=None,
+    ):
+        self.wall_start = time.perf_counter()
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
+
+        if trace is None and collect_trace:
+            trace = TraceBus(ring_capacity=0)
+
+        injector = FaultInjector(faults, trace=trace) if faults is not None else None
+        if oom_policy is None:
+            oom_policy = "shed" if faults is not None else "raise"
+
+        from ..sanitize import SimSanitizer, default_enabled
+
+        if isinstance(sanitize, SimSanitizer):
+            sanitizer = sanitize
+        else:
+            enabled = default_enabled() if sanitize is None else bool(sanitize)
+            sanitizer = SimSanitizer(enabled=True) if enabled else None
+
+        # --- construction, via the shared factories ------------------------
+        mb = build_machine(machine, swap=swap)
+        self.host, self.guest = mb.host, mb.guest
+        self.tenant = build_tenant(
+            spec,
+            config=config,
+            machine=mb,
+            seed=seed,
+            attrs=attrs,
+            costs=costs,
+            keep_snapshots=keep_snapshots,
+            trace=trace,
+            injector=injector,
+            oom_policy=oom_policy,
+            kernel_cls=kernel_cls,
+            sanitizer=sanitizer,
+        )
+        self.spec = spec
+        self.seed = seed
+        self.injector = injector
+        self.trace = trace
+        self.queue: Optional[EventQueue] = None
+        self.compute_us: float = 0.0
+        self.started = False
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        spec: WorkloadSpec,
+        host: MachineSpec,
+        guest,
+        tenant: TenantBuild,
+        injector: Optional[FaultInjector],
+        seed: int,
+        compute_us: float,
+    ) -> "ExperimentRun":
+        """Rebuild a run around already-restored components (codec path);
+        skips construction entirely — the caller wires queue and trace."""
+        run = object.__new__(cls)
+        run.wall_start = time.perf_counter()
+        run.spec = spec
+        run.host = host
+        run.guest = guest
+        run.tenant = tenant
+        run.injector = injector
+        run.trace = tenant.trace
+        run.seed = seed
+        run.queue = None
+        run.compute_us = compute_us
+        run.started = True
+        return run
+
+    def run_one_epoch(self, now: int) -> None:
+        """One workload epoch: run it, then charge its costs at its end."""
+        self.tenant.work.run_epoch(now)
+        self.tenant.kernel.end_epoch(now + self.spec.epoch_us, self.compute_us)
+
+    def start(self) -> None:
+        """Create the event queue, start the monitor, run epoch 0 and
+        register the periodic epoch tick."""
+        tenant = self.tenant
+        kernel = tenant.kernel
+
+        self.queue = EventQueue()
+        tenant.start(self.queue)
+
+        # --- khugepaged (thp=always only) ----------------------------------
+        if tenant.cfg.thp_mode == "always":
+            self.queue.schedule_periodic(
+                _KHUGEPAGED_PERIOD_US, kernel.khugepaged_scan, name="khugepaged"
+            )
+
+        # --- workload epoch loop -------------------------------------------
+        self.compute_us = tenant.work.compute_us_per_epoch(self.guest.cpu_scale)
+        kernel.sample_memory(0)
+
+        # First epoch at t=0, the rest via the queue; epoch handlers are
+        # registered after the monitor so monitor ticks win ties.
+        self.run_one_epoch(0)
+        self.queue.schedule_periodic(self.spec.epoch_us, self.run_one_epoch, name="epoch")
+        self.started = True
+
+    def run_until(self, deadline_us: int) -> int:
+        """Advance virtual time to ``deadline_us`` (inclusive).  Stepping
+        a run in increments dispatches the identical event sequence as
+        one big ``run_until`` — that equivalence is what makes pausing
+        for a checkpoint invisible to the simulation."""
+        assert self.queue is not None, "start() (or a restore) must run first"
+        return self.queue.run_until(deadline_us)
+
+    def finish(self) -> RunResult:
+        """Stop the monitor and assemble the run's :class:`RunResult`."""
+        tenant = self.tenant
+        if tenant.monitor is not None:
+            tenant.monitor.stop()
+
+        metrics = tenant.kernel.metrics
+        scheme_stats = {}
+        if tenant.engine is not None:
+            for i, scheme in enumerate(tenant.engine.schemes):
+                scheme_stats[f"{i}:{scheme.action.value}"] = {
+                    "nr_tried": scheme.stats.nr_tried,
+                    "sz_tried": scheme.stats.sz_tried,
+                    "nr_applied": scheme.stats.nr_applied,
+                    "sz_applied": scheme.stats.sz_applied,
+                }
+        spec = self.spec
+        return RunResult(
+            workload=spec.full_name,
+            config=tenant.cfg.name,
+            machine=self.host.name,
+            seed=self.seed,
+            duration_us=spec.duration_us,
+            runtime_us=metrics.runtime.total_us(),
+            avg_rss_bytes=metrics.memory.avg_rss(),
+            peak_rss_bytes=float(metrics.memory.peak_rss),
+            avg_system_bytes=metrics.memory.avg_system(),
+            final_rss_bytes=float(metrics.memory.last_rss),
+            final_system_bytes=float(metrics.memory.last_system),
+            breakdown=metrics.as_dict(),
+            monitor_checks=metrics.monitor_checks,
+            monitor_cpu_us=metrics.monitor_cpu_us,
+            scheme_stats=scheme_stats,
+            snapshots=tenant.snapshots,
+            wall_clock_us=(time.perf_counter() - self.wall_start) * 1e6,
+            trace_summary=(
+                self.trace.summary().as_dict() if self.trace is not None else None
+            ),
+        )
 
 
 def run_experiment(
@@ -292,6 +512,8 @@ def run_experiment(
     oom_policy: Optional[str] = None,
     kernel_cls: type = SimKernel,
     sanitize=None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> RunResult:
     """Run one experiment and return its raw measurements.
 
@@ -327,105 +549,39 @@ def run_experiment(
     overhead benchmark attaches a *disabled* one this way).  Checkers
     are read-only and consume no RNG, so results are byte-identical
     either way.
+
+    ``checkpoint`` names a file to write crash-consistent state
+    snapshots to, every ``checkpoint_every`` epochs (0 = once at the
+    midpoint).  Checkpointing pauses the event loop between epochs and
+    never touches simulation state, so results are byte-identical with
+    it on or off; ``daos resume FILE`` completes an interrupted run
+    from the latest snapshot.
     """
-    wall_start = time.perf_counter()
-    spec = get_workload(workload) if isinstance(workload, str) else workload
-    spec = spec.scaled(time_scale) if time_scale != 1.0 else spec
-
-    if trace is None and collect_trace:
-        trace = TraceBus(ring_capacity=0)
-
-    injector = FaultInjector(faults, trace=trace) if faults is not None else None
-    if oom_policy is None:
-        oom_policy = "shed" if faults is not None else "raise"
-
-    from ..sanitize import SimSanitizer, default_enabled
-
-    if isinstance(sanitize, SimSanitizer):
-        sanitizer = sanitize
-    else:
-        enabled = default_enabled() if sanitize is None else bool(sanitize)
-        sanitizer = SimSanitizer(enabled=True) if enabled else None
-
-    # --- construction, via the shared factories ----------------------------
-    mb = build_machine(machine, swap=swap)
-    host, guest = mb.host, mb.guest
-    tenant = build_tenant(
-        spec,
+    run = ExperimentRun(
+        workload,
         config=config,
-        machine=mb,
+        machine=machine,
         seed=seed,
+        time_scale=time_scale,
+        swap=swap,
         attrs=attrs,
         costs=costs,
         keep_snapshots=keep_snapshots,
         trace=trace,
-        injector=injector,
+        collect_trace=collect_trace,
+        faults=faults,
         oom_policy=oom_policy,
         kernel_cls=kernel_cls,
-        sanitizer=sanitizer,
+        sanitize=sanitize,
     )
-    cfg = tenant.cfg
-    kernel = tenant.kernel
-    work = tenant.work
-    monitor = tenant.monitor
-    engine = tenant.engine
-    snapshots = tenant.snapshots
+    run.start()
+    if checkpoint is not None:
+        from ..recovery.codec import checkpoint_run_stepping
 
-    queue = EventQueue()
-    tenant.start(queue)
-
-    # --- khugepaged (thp=always only) --------------------------------------
-    if cfg.thp_mode == "always":
-        queue.schedule_periodic(
-            _KHUGEPAGED_PERIOD_US, lambda now: kernel.khugepaged_scan(now), name="khugepaged"
-        )
-
-    # --- workload epoch loop ----------------------------------------------
-    compute_us = work.compute_us_per_epoch(guest.cpu_scale)
-    kernel.sample_memory(0)
-
-    def run_one_epoch(now: int) -> None:
-        work.run_epoch(now)
-        kernel.end_epoch(now + spec.epoch_us, compute_us)
-
-    # First epoch at t=0, the rest via the queue; epoch handlers are
-    # registered after the monitor so monitor ticks win ties.
-    run_one_epoch(0)
-    queue.schedule_periodic(spec.epoch_us, run_one_epoch, name="epoch")
-    queue.run_until(spec.duration_us)
-    if monitor is not None:
-        monitor.stop()
-
-    metrics = kernel.metrics
-    scheme_stats = {}
-    if engine is not None:
-        for i, scheme in enumerate(engine.schemes):
-            scheme_stats[f"{i}:{scheme.action.value}"] = {
-                "nr_tried": scheme.stats.nr_tried,
-                "sz_tried": scheme.stats.sz_tried,
-                "nr_applied": scheme.stats.nr_applied,
-                "sz_applied": scheme.stats.sz_applied,
-            }
-    return RunResult(
-        workload=spec.full_name,
-        config=cfg.name,
-        machine=host.name,
-        seed=seed,
-        duration_us=spec.duration_us,
-        runtime_us=metrics.runtime.total_us(),
-        avg_rss_bytes=metrics.memory.avg_rss(),
-        peak_rss_bytes=float(metrics.memory.peak_rss),
-        avg_system_bytes=metrics.memory.avg_system(),
-        final_rss_bytes=float(metrics.memory.last_rss),
-        final_system_bytes=float(metrics.memory.last_system),
-        breakdown=metrics.as_dict(),
-        monitor_checks=metrics.monitor_checks,
-        monitor_cpu_us=metrics.monitor_cpu_us,
-        scheme_stats=scheme_stats,
-        snapshots=snapshots,
-        wall_clock_us=(time.perf_counter() - wall_start) * 1e6,
-        trace_summary=trace.summary().as_dict() if trace is not None else None,
-    )
+        checkpoint_run_stepping(run, checkpoint, every_epochs=checkpoint_every)
+    else:
+        run.run_until(run.spec.duration_us)
+    return run.finish()
 
 
 def autotune_scheme(

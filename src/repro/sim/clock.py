@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 
 __all__ = ["VirtualClock", "EventQueue", "PeriodicEvent"]
 
@@ -83,18 +83,34 @@ class EventQueue:
 
     def schedule_at(self, when: int, callback: Callable[[int], None]) -> None:
         """Run ``callback(now)`` once at virtual time ``when``."""
+        self._schedule(when, callback, None)
+
+    def _schedule(
+        self,
+        when: int,
+        callback: Callable[[int], None],
+        event: Optional[PeriodicEvent],
+    ) -> None:
         if when < self.clock.now:
             raise ConfigError(
                 f"cannot schedule in the past: {when} < {self.clock.now}"
             )
-        heapq.heappush(self._heap, (int(when), next(self._counter), callback, None))
+        heapq.heappush(
+            self._heap, (int(when), next(self._counter), callback, event)
+        )
 
     def schedule_after(self, delay: int, callback: Callable[[int], None]) -> None:
         """Run ``callback(now)`` once ``delay`` microseconds from now."""
         self.schedule_at(self.clock.now + int(delay), callback)
 
     def schedule_periodic(
-        self, period: int, callback: Callable[[int], None], *, phase: int = 0, name: str = ""
+        self,
+        period: int,
+        callback: Callable[[int], None],
+        *,
+        phase: int = 0,
+        name: str = "",
+        first_at: Optional[int] = None,
     ) -> PeriodicEvent:
         """Run ``callback(now)`` every ``period`` microseconds.
 
@@ -102,6 +118,12 @@ class EventQueue:
         monitor uses it so that sampling, aggregation and regions-update
         ticks interleave in the same order as the upstream kdamond loop
         (sampling first, then aggregation, then regions update).
+
+        ``first_at`` pins the first firing to an absolute virtual time
+        instead — checkpoint restore uses it to re-register each pending
+        periodic at exactly the instant the interrupted run would have
+        fired it, preserving same-instant tie order via registration
+        order.
         """
         event = PeriodicEvent(callback, period, name=name)
 
@@ -110,10 +132,33 @@ class EventQueue:
                 return
             _event.callback(now)
             if not _event.cancelled:
-                self.schedule_at(now + _event.period, fire)
+                self._schedule(now + _event.period, fire, _event)
 
-        self.schedule_at(self.clock.now + phase + event.period, fire)
+        when = first_at if first_at is not None else self.clock.now + phase + event.period
+        self._schedule(when, fire, event)
         return event
+
+    def pending_periodics(self) -> List[Tuple[str, int, int]]:
+        """Snapshot the pending heap as ``(name, next_fire, period)`` rows.
+
+        Rows come back in dispatch order — ``(when, seq)`` — so replaying
+        them through :meth:`schedule_periodic` with ``first_at`` restores
+        identical same-instant tie-breaking.  Cancelled entries are
+        skipped; a pending *one-shot* entry has no handle to re-register
+        from, so checkpointing with one in flight is an error.
+        """
+        rows: List[Tuple[str, int, int]] = []
+        for when, seq, _callback, event in sorted(
+            self._heap, key=lambda entry: (entry[0], entry[1])
+        ):
+            if event is None:
+                raise CheckpointError(
+                    f"cannot snapshot queue: one-shot event pending at t={when}"
+                )
+            if event.cancelled:
+                continue
+            rows.append((event.name, int(when), int(event.period)))
+        return rows
 
     def run_until(self, deadline: int) -> int:
         """Dispatch events up to and including ``deadline``.

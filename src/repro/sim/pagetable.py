@@ -143,6 +143,21 @@ class PageTable:
         # of the whole table.  ``None`` = lost track, do a full fill.
         self._rate_slices = []
 
+    def __getstate__(self):
+        """Pickle as a standalone table: no owner, no derived cache.
+
+        The column arrays may be views into a
+        :class:`~repro.sim.flatpages.FlatPageTable`; pickling serializes
+        their *values* (a view materializes as a copy), and carrying the
+        owner along would both duplicate the flat storage in the payload
+        and leave the restored table bound to an orphaned flat.  The
+        address space rebuilds and rebinds the flat table on first use.
+        """
+        state = {name: getattr(self, name) for name in self.__slots__}
+        state["_owner"] = None
+        state["_chunk_rates"] = None
+        return (None, state)
+
     def _bind(self, flat, page_sl: slice, chunk_sl: slice) -> None:
         """Rebind every column to a slice view of ``flat``'s storage.
 

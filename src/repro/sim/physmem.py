@@ -41,11 +41,47 @@ class FrameTable:
         # Never-allocated frames are [_next_fresh, n_frames); released
         # frames sit in the recycled stack [0, _recycled_top).
         self._next_fresh = 0
-        self._recycled = np.empty(self.n_frames, dtype=np.int64)
+        # Zeroed, not np.empty: entries past _recycled_top are dead
+        # storage, but they end up inside checkpoint payloads — garbage
+        # there would make equal allocator states hash differently.
+        self._recycled = np.zeros(self.n_frames, dtype=np.int64)
         self._recycled_top = 0
         self.allocated = 0
         #: High-water mark, for reporting.
         self.peak_allocated = 0
+
+    # ------------------------------------------------------------------
+    # Pickle support (checkpoint codec)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the live prefixes only.
+
+        The arrays are sized to the *machine's* physical memory, but a
+        workload only ever touches ``[0, _next_fresh)`` of the owner
+        arrays (lowest-first allocation) and ``[0, _recycled_top)`` of
+        the recycled stack — everything past those marks is the
+        constructor's fill values.  Storing just the prefixes keeps a
+        checkpoint proportional to the workload's footprint instead of
+        the machine's capacity (hundreds of MB of ``-1``).
+        """
+        state = dict(self.__dict__)
+        state["owner_vma"] = self.owner_vma[: self._next_fresh].copy()
+        state["owner_page"] = self.owner_page[: self._next_fresh].copy()
+        state["_recycled"] = self._recycled[: self._recycled_top].copy()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        n = self.n_frames
+        prefix = self.owner_vma
+        self.owner_vma = np.full(n, -1, dtype=np.int64)
+        self.owner_vma[: prefix.size] = prefix
+        prefix = self.owner_page
+        self.owner_page = np.full(n, -1, dtype=np.int64)
+        self.owner_page[: prefix.size] = prefix
+        prefix = self._recycled
+        self._recycled = np.zeros(n, dtype=np.int64)
+        self._recycled[: prefix.size] = prefix
 
     # ------------------------------------------------------------------
     def free_frames(self) -> int:

@@ -70,6 +70,23 @@ class AddressSpace:
         self.generation = 0
         self._flat: Optional[FlatPageTable] = None
 
+    def __getstate__(self):
+        """Pickle without the flat table or lookup caches.
+
+        A pickled numpy view materializes as an independent copy, which
+        would silently sever the write-through binding between per-VMA
+        page tables and the flat storage on restore.  Dropping ``_flat``
+        (and the lazily-rebuilt lookup arrays) instead makes the first
+        ``flat`` access after unpickling rebuild the storage from the
+        VMAs' columns and rebind the views — the same path a layout
+        change takes.
+        """
+        state = dict(self.__dict__)
+        state["_flat"] = None
+        state["_starts"] = None
+        state["_ends"] = None
+        return state
+
     @property
     def flat(self) -> FlatPageTable:
         """The concatenated struct-of-arrays page table for this space.

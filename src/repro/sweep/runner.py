@@ -15,8 +15,8 @@ Execution contract (the determinism tests pin it down):
 
 from __future__ import annotations
 
+import hashlib
 import json
-import multiprocessing
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
@@ -28,7 +28,7 @@ from ..faults.injector import worker_crash_decision
 from .cache import ResultCache, code_version_tag, point_key
 from .grid import SweepGrid, SweepPoint
 from .points import get_point_function
-from .serialize import canonical_json, decode_value, encode_value
+from .serialize import _strip_volatile, canonical_json, decode_value, encode_value
 
 __all__ = ["SweepRunner", "SweepReport", "SweepOutcome"]
 
@@ -83,6 +83,9 @@ class SweepOutcome:
     key: str
     value: Any = None
     cached: bool = False
+    #: True when the value came from a ``--resume`` journal replay
+    #: rather than execution or the cache.
+    replayed: bool = False
     error: Optional[str] = None
     #: Exception class name of the failure (``"SwapFullError"``,
     #: ``"TimeoutError"``, ...); None on success.
@@ -118,8 +121,12 @@ class SweepReport:
         return sum(1 for o in self.outcomes if o.cached)
 
     @property
+    def n_replayed(self) -> int:
+        return sum(1 for o in self.outcomes if o.replayed)
+
+    @property
     def n_executed(self) -> int:
-        return sum(1 for o in self.outcomes if not o.cached and o.ok)
+        return sum(1 for o in self.outcomes if not o.cached and not o.replayed and o.ok)
 
     @property
     def n_failed(self) -> int:
@@ -131,6 +138,39 @@ class SweepReport:
 
     def failures(self) -> List[SweepOutcome]:
         return [o for o in self.outcomes if not o.ok]
+
+    def watchdog_failures(self) -> List[SweepOutcome]:
+        """Points whose final failure was a supervisor watchdog reap
+        (``WatchdogTimeout``) — the CLI maps these to exit code 3."""
+        return [o for o in self.outcomes if o.error_type == "WatchdogTimeout"]
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The report with every volatile field stripped.
+
+        Two sweeps of the same grid — serial or pooled, fresh or
+        resumed from a journal — produce the *same* canonical dict;
+        ``canonical_json`` of it is what ``daos sweep --out`` writes and
+        what the resume byte-identity tests compare.  Volatile result
+        fields (host wall clock, trace roll-ups) are stripped exactly as
+        the cache fingerprint strips them.
+        """
+        return {
+            "n_points": self.n_total,
+            "points": [
+                {
+                    "label": o.point.label(),
+                    "key": o.key,
+                    "ok": o.ok,
+                    "error": o.error,
+                    "error_type": o.error_type,
+                    "value": _strip_volatile(encode_value(o.value)) if o.ok else None,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.canonical_dict())
 
     def raise_if_failed(self, limit: int = 5) -> None:
         """Fail fast: raise :class:`~repro.errors.SweepError` naming up
@@ -180,15 +220,21 @@ class SweepRunner:
     state).  ``cache_dir=None`` disables caching entirely.
 
     Robustness knobs: a failed attempt is retried up to ``retries``
-    times before the point is reported failed; ``point_timeout_s``
-    bounds each pooled attempt's wall clock (a timed-out attempt is
-    synthesized as a ``TimeoutError`` failure and retried — the stuck
-    worker's slot is orphaned until the pool is torn down; the serial
-    path cannot preempt and ignores the timeout).  ``faults`` applies a
-    fault plan's ``worker_crash`` specs: crash decisions are a
-    stateless hash of ``(plan.seed, point_index)``, computed in the
-    parent, so they never perturb point *values* — cache keys stay
-    valid under any plan.
+    times before the point is reported failed; ``point_timeout_s`` is
+    the supervisor's watchdog deadline per pooled attempt (a past-due
+    worker is terminated and its point synthesized as a
+    ``WatchdogTimeout`` failure; the serial path cannot preempt and
+    ignores the timeout).  Pooled execution runs under the
+    :class:`~repro.recovery.supervisor.PointSupervisor` — one process
+    per in-flight point with heartbeats, so a worker killed outright
+    (``SIGKILL``) is reaped and its point reassigned instead of
+    stalling the sweep.  ``faults`` applies a fault plan's
+    ``worker_crash`` / ``worker_hang`` specs: decisions are a stateless
+    hash of ``(plan.seed, point_index)``, computed in the parent, so
+    they never perturb point *values* — cache keys stay valid under any
+    plan.  ``journal_dir`` write-ahead journals every completed point;
+    ``resume=True`` replays journaled points and re-executes only the
+    ones that were in flight when a previous sweep died.
     """
 
     def __init__(
@@ -203,6 +249,9 @@ class SweepRunner:
         point_timeout_s: Optional[float] = None,
         faults=None,
         sanitize: bool = False,
+        journal_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        trace=None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be at least 1: {jobs}")
@@ -210,6 +259,8 @@ class SweepRunner:
             raise ConfigError(f"retries cannot be negative: {retries}")
         if point_timeout_s is not None and point_timeout_s <= 0:
             raise ConfigError(f"point timeout must be positive: {point_timeout_s}")
+        if resume and journal_dir is None:
+            raise ConfigError("--resume needs a journal directory")
         self.grid = grid
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -219,8 +270,13 @@ class SweepRunner:
         self.point_timeout_s = point_timeout_s
         #: Run every point under the SimSanitizer invariant checks.
         self.sanitize = bool(sanitize)
+        self.journal_dir = str(journal_dir) if journal_dir is not None else None
+        self.resume = bool(resume)
+        #: Optional bus receiving the supervisor's WorkerReaped events.
+        self.trace = trace
         self._fault_seed = 0
         self._crash_probs: List[float] = []
+        self._hang_probs: List[float] = []
         if faults is not None:
             self._fault_seed = faults.seed
             self._crash_probs = [
@@ -228,11 +284,29 @@ class SweepRunner:
                 for spec in faults.specs
                 if spec.kind == "worker_crash"
             ]
+            self._hang_probs = [
+                spec.probability
+                for spec in faults.specs
+                if spec.kind == "worker_hang"
+            ]
+        if self._hang_probs and point_timeout_s is None:
+            raise ConfigError(
+                "worker_hang faults need --point-timeout: a hung worker "
+                "is only recoverable through the watchdog"
+            )
 
     def _crash_injected(self, point_index: int, attempt: int) -> bool:
         return any(
             worker_crash_decision(self._fault_seed, prob, point_index, attempt)
             for prob in self._crash_probs
+        )
+
+    def _hang_injected(self, point_index: int, attempt: int) -> bool:
+        return any(
+            worker_crash_decision(
+                self._fault_seed, prob, point_index, attempt, stream="hang"
+            )
+            for prob in self._hang_probs
         )
 
     # ------------------------------------------------------------------
@@ -305,6 +379,38 @@ class SweepRunner:
             else:
                 pending.append(index)
 
+        # --- journal replay + write-ahead setup --------------------------
+        journal = None
+        if self.journal_dir is not None:
+            from ..recovery.journal import SweepJournal
+
+            journal = SweepJournal(self.journal_dir)
+            if self.resume:
+                entries = journal.load()
+                still_pending: List[int] = []
+                for index in pending:
+                    entry = entries.get(keys[index])
+                    if entry is None:
+                        # In flight when the sweep died: re-execute.
+                        still_pending.append(index)
+                        continue
+                    finish(
+                        index,
+                        SweepOutcome(
+                            point=points[index],
+                            key=keys[index],
+                            value=decode_value(json.loads(entry["encoded"])),
+                            replayed=True,
+                            attempts=int(entry["attempts"]),
+                            wall_s=float(entry["wall_s"]),
+                        ),
+                    )
+                pending = still_pending
+            grid_digest = hashlib.sha256("\n".join(keys).encode("ascii")).hexdigest()[:16]
+            journal.open(
+                version_tag=version, grid_digest=grid_digest, n_points=len(points)
+            )
+
         # --- execution pass ---------------------------------------------
         def handle(raw: RawResult, attempts: int) -> None:
             index, encoded, error, error_type, tb, wall_s = raw
@@ -331,6 +437,17 @@ class SweepRunner:
                     point=point,
                     meta={"wall_s": wall_s},
                 )
+            if journal is not None:
+                # Write-ahead of the *report*, behind the execution: the
+                # line is durable before the outcome is observable, so a
+                # crash can lose in-flight work but never a reported point.
+                journal.record(
+                    index=index,
+                    key=key,
+                    encoded=encoded,
+                    attempts=attempts,
+                    wall_s=wall_s,
+                )
             finish(
                 index,
                 SweepOutcome(
@@ -342,84 +459,46 @@ class SweepRunner:
             point = points[index]
             return (index, point.fn, point.items, self._crash_injected(index, attempt))
 
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                from ..sanitize import default_enabled, set_default_enabled
+        try:
+            if pending:
+                if self.jobs == 1 or len(pending) == 1:
+                    from ..sanitize import default_enabled, set_default_enabled
 
-                previous = default_enabled()
-                set_default_enabled(previous or self.sanitize)
-                try:
-                    for index in pending:
-                        attempt = 0
-                        while True:
-                            raw = _execute_payload(make_payload(index, attempt))
-                            if raw[2] is None or attempt >= self.retries:
-                                break
-                            attempt += 1
-                        handle(raw, attempts=attempt + 1)
-                finally:
-                    set_default_enabled(previous)
-            else:
-                self._run_pool(pending, make_payload, handle)
+                    previous = default_enabled()
+                    set_default_enabled(previous or self.sanitize)
+                    try:
+                        for index in pending:
+                            attempt = 0
+                            while True:
+                                raw = _execute_payload(make_payload(index, attempt))
+                                if raw[2] is None or attempt >= self.retries:
+                                    break
+                                attempt += 1
+                            handle(raw, attempts=attempt + 1)
+                    finally:
+                        set_default_enabled(previous)
+                else:
+                    # Supervised fan-out: one process per in-flight point,
+                    # heartbeats, a watchdog, seeded-backoff reassignment.
+                    from ..recovery.supervisor import PointSupervisor
+
+                    PointSupervisor(
+                        jobs=min(self.jobs, len(pending)),
+                        start_method=self.start_method,
+                        sanitize=self.sanitize,
+                        timeout_s=self.point_timeout_s,
+                        retries=self.retries,
+                        backoff_seed=self._fault_seed,
+                        hang_decision=(
+                            self._hang_injected if self._hang_probs else None
+                        ),
+                        trace=self.trace,
+                    ).execute(pending, make_payload, handle)
+        finally:
+            if journal is not None:
+                journal.close()
 
         return SweepReport(
             outcomes=[o for o in outcomes if o is not None],
             elapsed_s=time.perf_counter() - started,
         )
-
-    def _run_pool(
-        self,
-        pending: List[int],
-        make_payload: Callable[[int, int], Tuple[int, str, tuple, bool]],
-        handle: Callable[[RawResult, int], None],
-    ) -> None:
-        """Pool fan-out with per-attempt timeouts and bounded retries.
-
-        ``apply_async`` + polling (instead of ``imap_unordered``) so a
-        hung worker cannot stall the whole sweep: a past-deadline
-        attempt is synthesized as a ``TimeoutError`` failure and
-        retried/reported while the stuck task's slot stays orphaned.
-        """
-        context = multiprocessing.get_context(self.start_method)
-        workers = min(self.jobs, len(pending))
-        timeout = self.point_timeout_s
-        with context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(self.sanitize,)
-        ) as pool:
-            inflight: Dict[int, Tuple[Any, int, Optional[float]]] = {}
-
-            def submit(index: int, attempt: int) -> None:
-                deadline = time.monotonic() + timeout if timeout is not None else None
-                task = pool.apply_async(_execute_payload, (make_payload(index, attempt),))
-                inflight[index] = (task, attempt, deadline)
-
-            for index in pending:
-                submit(index, 0)
-            while inflight:
-                acted = False
-                for index in list(inflight):
-                    task, attempt, deadline = inflight[index]
-                    raw: Optional[RawResult] = None
-                    if task.ready():
-                        raw = task.get()
-                    elif deadline is not None and time.monotonic() > deadline:
-                        raw = (
-                            index,
-                            None,
-                            f"point timed out after {timeout:g}s",
-                            "TimeoutError",
-                            None,
-                            float(timeout),
-                        )
-                    else:
-                        continue
-                    acted = True
-                    del inflight[index]
-                    if raw[2] is not None and attempt < self.retries:
-                        submit(index, attempt + 1)
-                    else:
-                        handle(raw, attempts=attempt + 1)
-                if not acted and inflight:
-                    # Block briefly on one in-flight task instead of
-                    # spinning; any completion wakes the loop.
-                    next(iter(inflight.values()))[0].wait(0.05)

@@ -238,6 +238,40 @@ class TraceBus:
             self._wants_all = self._ring is not None or bool(self._all_handlers)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def counters_state(self) -> Dict[str, object]:
+        """The bus's lifetime accounting as one plain, picklable dict.
+
+        Subscribers, the ring and the clock binding are deliberately
+        excluded: they are re-wired by the restore path, while the
+        counters below are what make a resumed run's trace summary
+        byte-identical to the uninterrupted one.
+        """
+        return {
+            "counts": dict(self.counts),
+            "group_counts": {k: dict(v) for k, v in self.group_counts.items()},
+            "n_events": self.n_events,
+            "first_time_us": self.first_time_us,
+            "last_time_us": self.last_time_us,
+        }
+
+    def restore_counters(self, state: Mapping[str, object]) -> None:
+        """Load a :meth:`counters_state` snapshot into a fresh bus."""
+        if self.n_events:
+            raise ConfigError(
+                "cannot restore counters onto a bus that already emitted"
+            )
+        self.counts = dict(state["counts"])  # type: ignore[arg-type]
+        self.group_counts = {
+            k: dict(v)
+            for k, v in state["group_counts"].items()  # type: ignore[union-attr]
+        }
+        self.n_events = int(state["n_events"])  # type: ignore[arg-type]
+        self.first_time_us = int(state["first_time_us"])  # type: ignore[arg-type]
+        self.last_time_us = int(state["last_time_us"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

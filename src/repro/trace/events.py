@@ -41,6 +41,9 @@ __all__ = [
     "RetryAttempted",
     "DegradedModeEntered",
     "DegradedModeExited",
+    "CheckpointWritten",
+    "RunResumed",
+    "WorkerReaped",
     "EVENT_TYPES",
     "event_payload",
 ]
@@ -297,6 +300,61 @@ class DegradedModeExited(TraceEvent):
     reason: str
     #: Virtual time spent degraded, in microseconds.
     degraded_us: int = 0
+
+
+# ----------------------------------------------------------------------
+# Recovery events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True, slots=True)
+class CheckpointWritten(TraceEvent):
+    """A crash-consistent checkpoint of the full simulation state was
+    committed to disk (atomic rename; the digest covers every byte of
+    the pickled payload)."""
+
+    #: Checkpoint kind: ``"run"`` or ``"fleet"``.
+    target: str
+    #: First 16 hex chars of the payload SHA-256 (the restore identity).
+    digest: str
+    #: Size of the serialized payload, in bytes.
+    payload_bytes: int
+    #: Ordinal of this checkpoint within the run (1-based).
+    sequence: int = 1
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class RunResumed(TraceEvent):
+    """A run was reconstructed from a checkpoint and is continuing.
+
+    Emitted at the restored virtual time, before any restored periodic
+    fires, so a resumed trace tail starts with provenance."""
+
+    #: Checkpoint kind restored: ``"run"`` or ``"fleet"``.
+    target: str
+    #: Digest of the checkpoint the run resumed from.
+    digest: str
+    #: Virtual time the checkpoint was taken at.
+    checkpoint_time_us: int
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class WorkerReaped(TraceEvent):
+    """The sweep supervisor killed or collected a failed worker.
+
+    The supervisor runs on the host, outside any virtual clock, so
+    ``time_us`` carries the supervisor's own monotone event ordinal —
+    never wall time — keeping supervised traces byte-identical."""
+
+    #: Index of the sweep point the worker was executing.
+    point_index: int
+    #: Why the worker was reaped: ``"timeout"``, ``"crashed"``.
+    reason: str
+    #: 0-based attempt number that was reaped.
+    attempt: int
+    #: Whether the point will be reassigned to a fresh worker.
+    will_retry: bool
 
 
 # ----------------------------------------------------------------------

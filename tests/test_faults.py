@@ -97,8 +97,10 @@ class TestFaultSpec:
             FaultSpec.from_dict({"kind": "swap_full", "strat": "2s"})
 
     def test_every_kind_maps_to_a_hook(self):
+        from repro.faults.spec import _NEEDS_MAGNITUDE
+
         for kind in FAULT_KINDS:
-            extra = {"magnitude": 1.0} if kind in ("pressure_spike", "late_epoch") else {}
+            extra = {"magnitude": 1.0} if kind in _NEEDS_MAGNITUDE else {}
             assert "." in FaultSpec(kind=kind, **extra).hook
 
 

@@ -27,6 +27,7 @@ CORPUS = {
     "DF303": ("df303.txt", Severity.ERROR),
     "DF310": ("df310.txt", Severity.ERROR),
     "DF320": ("df320.txt", Severity.WARNING),
+    "DF330": ("df330.txt", Severity.ERROR),
 }
 
 
@@ -201,6 +202,101 @@ class TestDF320GlobalMutation:
 
     def test_global_read_without_assignment_allowed(self):
         assert lint("_MEMO = 1\n\ndef get():\n    global _MEMO\n    return _MEMO\n") == []
+
+
+class TestDF330SwallowedExceptions:
+    BAD = """\
+        def f(path):
+            try:
+                return open(path).read()
+            except Exception:
+                return None
+        """
+
+    def test_swallowing_broad_except_flagged(self):
+        diags = lint(self.BAD)
+        assert codes_of(diags) == ["DF330"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_bare_except_flagged(self):
+        diags = lint(self.BAD.replace("except Exception:", "except:"))
+        assert codes_of(diags) == ["DF330"]
+        assert "bare except" in diags[0].message
+
+    def test_base_exception_flagged(self):
+        diags = lint(
+            self.BAD.replace("except Exception:", "except BaseException:")
+        )
+        assert codes_of(diags) == ["DF330"]
+
+    def test_broad_member_of_tuple_flagged(self):
+        diags = lint(
+            self.BAD.replace("except Exception:", "except (OSError, Exception):")
+        )
+        assert codes_of(diags) == ["DF330"]
+
+    def test_reraise_allowed(self):
+        # The atomic-write idiom: clean up, then propagate.
+        good = """\
+            def f(path, tmp):
+                try:
+                    return open(path).read()
+                except BaseException:
+                    cleanup(tmp)
+                    raise
+            """
+        assert lint(good) == []
+
+    def test_wrapping_raise_allowed(self):
+        good = """\
+            def f(text):
+                try:
+                    return parse(text)
+                except Exception as exc:
+                    raise ValueError(f"bad input: {exc}") from exc
+            """
+        assert lint(good) == []
+
+    def test_logging_call_allowed(self):
+        good = """\
+            def f(handler, event):
+                try:
+                    handler(event)
+                except Exception:
+                    _log.warning("handler failed; unsubscribing")
+            """
+        assert lint(good) == []
+
+    def test_consumed_exception_allowed(self):
+        # Recording the exception value is structured handling.
+        good = """\
+            def f(handler, event, broken):
+                try:
+                    handler(event)
+                except Exception as exc:
+                    broken.append((handler, exc))
+            """
+        assert lint(good) == []
+
+    def test_bound_but_unread_still_flagged(self):
+        diags = lint(
+            self.BAD.replace("except Exception:", "except Exception as exc:")
+        )
+        assert codes_of(diags) == ["DF330"]
+
+    def test_narrow_types_exempt(self):
+        assert (
+            lint(
+                """\
+                def f(conn, payload):
+                    try:
+                        conn.send(payload)
+                    except (BrokenPipeError, EOFError):
+                        pass
+                """
+            )
+            == []
+        )
 
 
 class TestSuppressionAndExemption:
