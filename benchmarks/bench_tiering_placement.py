@@ -1,0 +1,178 @@
+"""Tiered-memory placement quality gate (the Memos/KLOC contrast).
+
+The tiering backend's promise is access-aware *placement*: with a slow
+tier attached, hot data belongs in DRAM and cold data in NVM/CXL,
+regardless of the order pages happened to fault in.  This benchmark
+measures exactly that, on a workload built to punish first-touch
+placement:
+
+* a ``ColdInit`` sweep populates a 256 MiB footprint in the first two
+  seconds — whatever faults first claims DRAM;
+* a ``PhasedHotspot`` then walks a 48 MiB hot window across the
+  footprint, ending on a region that cold-initialised *after* DRAM
+  filled.
+
+On a guest with 128 MiB of DRAM and a 256 MiB cxl-dram slow tier the
+unmanaged baseline (faults spill to the slow tier, nothing ever moves)
+strands the final hot window where it first landed; the managed run — a
+``migrate_hot``/``migrate_cold`` scheme pair on top of demote-before-
+swap reclaim — promotes it into DRAM as the monitor sees the heat.
+
+The score is the **hot-in-DRAM ratio**: of the pages touched in the
+last four seconds, the fraction resident in the fast tier.  The gate is
+``managed >= 1.5x unmanaged``; measured, the contrast is far starker
+(~0.03 vs 1.0).  Both runs execute under an attached SimSanitizer so
+the tier-placement invariants are cross-checked while being scored.
+
+Writes ``benchmarks/out/BENCH_tiering_placement.json`` with both ratios
+and ``speedup = managed / unmanaged`` (guarded against drift via
+``benchmarks/baselines/BENCH_tiering_placement.json``).
+"""
+
+import json
+
+import numpy as np
+from conftest import OUT_DIR
+
+from repro.runner.configs import ExperimentConfig
+from repro.runner.experiment import ExperimentRun
+from repro.sim.machine import scaled_instance
+from repro.units import MIB, SEC
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.patterns import ColdInit, PhasedHotspot
+
+SEED = 7
+TIER = "cxl-dram"
+#: Guest DRAM 128 MiB (i3.metal scaled), slow tier 256 MiB.
+DRAM_SCALE = 1 / 256
+TIER_SCALE = 1 / 1024
+#: Pages touched within this window of the end count as hot.
+HOT_WINDOW_US = 4 * SEC
+GATE = 1.5
+
+#: 49 s (not 50) so the run ends mid-dwell: the final epoch must not
+#: tip the hotspot onto its next position, which would score a window
+#: no policy has had time to react to.
+WORKLOAD = WorkloadSpec(
+    name="tiering_placement",
+    suite="bench",
+    footprint=256 * MIB,
+    duration_us=49 * SEC,
+    components=(
+        ColdInit(offset=0, size=256 * MIB, init_us=2 * SEC),
+        PhasedHotspot(
+            offset=0,
+            size=256 * MIB,
+            hot_bytes=48 * MIB,
+            dwell_us=10 * SEC,
+            n_positions=5,
+            touches_per_sec=2000.0,
+        ),
+    ),
+)
+
+#: The managed run's scheme pair: promote anything the monitor sees
+#: accessed, demote anything idle for two seconds.
+TIERING_SCHEMES = """\
+# size  frequency  age  action
+4K max 1 max min max migrate_hot
+4K max min min 2s max migrate_cold
+"""
+
+CONFIGS = {
+    "unmanaged": ("unmanaged", ExperimentConfig(name="baseline")),
+    "managed": (
+        "managed",
+        ExperimentConfig(
+            name="tiering", monitor="vaddr", schemes_text=TIERING_SCHEMES
+        ),
+    ),
+}
+
+
+def run_policy(policy, config):
+    """One scored run; returns (hot_in_dram_ratio, stats dict)."""
+    machine = scaled_instance("i3.metal", dram_scale=DRAM_SCALE)
+    run = ExperimentRun(
+        WORKLOAD,
+        config=config,
+        machine=machine,
+        tier=TIER,
+        tier_scale=TIER_SCALE,
+        tier_policy=policy,
+        seed=SEED,
+        sanitize=True,
+    )
+    run.start()
+    run.run_until(run.spec.duration_us)
+    result = run.finish()
+
+    kernel = run.tenant.kernel
+    flat = kernel.space.flat
+    hot = flat.present & (flat.last_touch >= run.spec.duration_us - HOT_WINDOW_US)
+    n_hot = int(np.count_nonzero(hot))
+    hot_in_dram = int(np.count_nonzero(hot & (flat.tier == 0)))
+    ratio = hot_in_dram / max(n_hot, 1)
+    stats = {
+        "hot_pages": n_hot,
+        "hot_in_dram": hot_in_dram,
+        "hot_in_dram_ratio": round(ratio, 4),
+        "pages_demoted": kernel.metrics.pages_demoted,
+        "pages_promoted": kernel.metrics.pages_promoted,
+        "pages_swapped_out": kernel.metrics.pages_swapped_out,
+        "runtime_us": round(result.runtime_us, 1),
+    }
+    return ratio, stats
+
+
+def test_tiering_placement_beats_unmanaged(benchmark, report):
+    ratios, stats = {}, {}
+
+    def run_all():
+        for name, (policy, config) in CONFIGS.items():
+            ratios[name], stats[name] = run_policy(policy, config)
+        return ratios
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    speedup = ratios["managed"] / max(ratios["unmanaged"], 1e-9)
+
+    report.add(
+        f"Tiering placement ({TIER}, DRAM 128 MiB + slow 256 MiB, "
+        f"48 MiB moving hot window)"
+    )
+    for name in ("unmanaged", "managed"):
+        s = stats[name]
+        report.add(
+            f"  {name:9s}: hot-in-DRAM {s['hot_in_dram']}/{s['hot_pages']} "
+            f"({s['hot_in_dram_ratio']:.1%}), {s['pages_demoted']} demoted, "
+            f"{s['pages_promoted']} promoted, "
+            f"runtime {s['runtime_us'] / 1e6:.2f}s"
+        )
+    report.add(f"  placement ratio (managed/unmanaged): {speedup:.1f}x (gate {GATE}x)")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_tiering_placement.json").write_text(
+        json.dumps(
+            {
+                "tier": TIER,
+                "seed": SEED,
+                "dram_scale": DRAM_SCALE,
+                "tier_scale": TIER_SCALE,
+                "hot_window_us": HOT_WINDOW_US,
+                "gate": GATE,
+                "policies": stats,
+                # The regression checker's common currency: the managed
+                # run's hot-in-DRAM ratio over the unmanaged baseline's.
+                "speedup": round(speedup, 4),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    assert speedup >= GATE, (
+        f"managed placement is only {speedup:.2f}x the unmanaged baseline "
+        f"(hot-in-DRAM {ratios['managed']:.1%} vs {ratios['unmanaged']:.1%}); "
+        f"the tiering backend must reach {GATE}x"
+    )

@@ -112,6 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="scale workload durations (1.0 = the paper's full runs)",
     )
+    parser.add_argument(
+        "--tier",
+        default=None,
+        metavar="NAME",
+        help="attach a slow memory tier to the guest (optane-pmm | cxl-dram); "
+        "reclaim then demotes before swapping and schemes may use the "
+        "migrate_hot/migrate_cold actions",
+    )
+    parser.add_argument(
+        "--tier-scale",
+        type=float,
+        default=1.0,
+        help="scale the slow tier's capacity (with --tier)",
+    )
+    parser.add_argument(
+        "--tier-policy",
+        choices=("managed", "unmanaged"),
+        default="managed",
+        help="tier placement policy (with --tier): managed demotes before "
+        "swapping and migrates by heat; unmanaged only spills faults into "
+        "the slow tier",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the workload catalog")
@@ -542,6 +564,9 @@ def _cmd_run(args) -> int:
             machine=args.machine,
             seed=args.seed,
             time_scale=args.time_scale,
+            tier=args.tier,
+            tier_scale=args.tier_scale,
+            tier_policy=args.tier_policy,
             trace=bus,
             faults=plan,
             sanitize=True if args.sanitize else None,
@@ -559,8 +584,17 @@ def _cmd_run(args) -> int:
             machine=args.machine,
             seed=args.seed,
             time_scale=args.time_scale,
+            tier=args.tier,
+            tier_scale=args.tier_scale,
+            tier_policy=args.tier_policy,
         )
     _print_run(result, baseline)
+    if args.tier:
+        print(
+            f"tier         : {args.tier} [{args.tier_policy}], "
+            f"{result.breakdown.get('pages_demoted', 0)} page(s) demoted, "
+            f"{result.breakdown.get('pages_promoted', 0)} promoted"
+        )
     if plan is not None:
         shed = result.breakdown.get("shed_pages", 0)
         print(
@@ -629,6 +663,9 @@ def _cmd_schemes(args) -> int:
             machine=args.machine,
             seed=args.seed,
             time_scale=args.time_scale,
+            tier=args.tier,
+            tier_scale=args.tier_scale,
+            tier_policy=args.tier_policy,
             trace=bus,
         )
     finally:
@@ -640,6 +677,9 @@ def _cmd_schemes(args) -> int:
         machine=args.machine,
         seed=args.seed,
         time_scale=args.time_scale,
+        tier=args.tier,
+        tier_scale=args.tier_scale,
+        tier_policy=args.tier_policy,
     )
     _print_run(result, baseline)
     if sink is not None:
@@ -699,6 +739,10 @@ def _cmd_wss(args) -> int:
 def _sweep_grid_from_args(args):
     """The grid (and its summariser) the sweep flags describe."""
     if args.grid is not None:
+        if args.tier:
+            raise ConfigError(
+                "--tier applies to custom --workloads grids, not --grid presets"
+            )
         preset = PRESETS[args.grid]
         if args.grid == "fig3":
             if args.workloads:
@@ -728,10 +772,18 @@ def _sweep_grid_from_args(args):
     for config in configs:
         if config not in CONFIGS:
             raise ConfigError(f"unknown configuration {config!r} in --configs")
+    fixed = {"machine": args.machine, "time_scale": args.time_scale}
+    if args.tier:
+        # Only present when tiering is on: adding tier=None to every
+        # point would churn the labels (and thus the result cache keys)
+        # of existing flat sweeps.
+        fixed.update(
+            tier=args.tier, tier_scale=args.tier_scale, tier_policy=args.tier_policy
+        )
     grid = SweepGrid.from_axes(
         "experiment",
         {"workload": workloads, "config": configs, "seed": seeds},
-        fixed={"machine": args.machine, "time_scale": args.time_scale},
+        fixed=fixed,
     )
     summarize = summarize_fig7 if "baseline" in configs else None
     return grid, summarize
@@ -940,6 +992,9 @@ def _fleet_config_from_args(args):
         pool_gib=args.pool_gib,
         swap=args.swap,
         machine=args.machine,
+        tier=args.tier or "",
+        tier_scale=args.tier_scale,
+        tier_policy=args.tier_policy,
         seed=args.seed,
     )
 

@@ -89,6 +89,12 @@ class FleetConfig:
     pool_gib: float = 0.0
     swap: str = "zram"
     machine: str = "i3.metal"
+    #: Slow memory tier catalog name; "" runs the fleet on flat DRAM.
+    #: Only the naive path (one kernel per tenant) honours it — the
+    #: batched scheduler tracks region *counts*, not frame placement.
+    tier: str = ""
+    tier_scale: float = 1.0
+    tier_policy: str = "managed"
     seed: int = 0
     arrival_window_s: float = 60.0
     #: One fleet tick = one monitor aggregation interval.
@@ -112,6 +118,12 @@ class FleetConfig:
             raise ConfigError("need pool_ratio > 0 or an explicit pool_gib")
         if self.swap not in _SWAP_KINDS:
             raise ConfigError(f"unknown swap kind {self.swap!r} ({'|'.join(_SWAP_KINDS)})")
+        if self.tier_scale <= 0:
+            raise ConfigError(f"tier_scale must be positive: {self.tier_scale}")
+        if self.tier_policy not in ("managed", "unmanaged"):
+            raise ConfigError(
+                f"unknown tier_policy {self.tier_policy!r} (managed | unmanaged)"
+            )
         if self.tick_ms <= 0 or self.sampling_ms <= 0 or self.tick_ms % self.sampling_ms:
             raise ConfigError(
                 f"tick ({self.tick_ms}ms) must be a positive multiple of the "
@@ -148,6 +160,9 @@ class FleetConfig:
             "pool_gib": self.pool_gib,
             "swap": self.swap,
             "machine": self.machine,
+            "tier": self.tier,
+            "tier_scale": self.tier_scale,
+            "tier_policy": self.tier_policy,
             "seed": self.seed,
             "arrival_window_s": self.arrival_window_s,
             "tick_ms": self.tick_ms,
@@ -215,6 +230,13 @@ class FleetScheduler:
         else:
             enabled = default_enabled() if sanitize is None else bool(sanitize)
             self.sanitizer = SimSanitizer(enabled=True) if enabled else None
+
+        if cfg.tier:
+            raise ConfigError(
+                "the batched fleet scheduler tracks region counts, not frame "
+                "placement, so it cannot model a slow tier; run tiered fleets "
+                "with --naive (one kernel per tenant)"
+            )
 
         #: The machine factory shared with the single-run path.
         self.machine = build_machine(cfg.machine, swap=cfg.swap)
@@ -619,6 +641,11 @@ def run_fleet_naive(cfg: FleetConfig, *, limit: Optional[int] = None) -> List[An
                 machine=machine,
                 seed=t.seed,
                 swap=cfg.swap,
+                # Each tenant gets its fleet share of the slow tier, the
+                # same split the DRAM pool gets above.
+                tier=cfg.tier or None,
+                tier_scale=cfg.tier_scale / cfg.n_tenants,
+                tier_policy=cfg.tier_policy,
             )
         )
     return results

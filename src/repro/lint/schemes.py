@@ -64,6 +64,7 @@ _CONFLICTS = (
 _OPPOSING = (
     frozenset({Action.COLD, Action.WILLNEED}),
     frozenset({Action.LRU_PRIO, Action.LRU_DEPRIO}),
+    frozenset({Action.MIGRATE_HOT, Action.MIGRATE_COLD}),
 )
 
 #: Tolerance mirroring AccessPattern.matches' bound rounding slack.
@@ -215,6 +216,12 @@ def _check_single(
             "DS150",
             f"paging out memory with more than 50% access frequency will "
             f"thrash (min_freq is {p.min_freq:.0%})",
+        )
+    elif scheme.action is Action.MIGRATE_COLD and p.min_freq > 0.5:
+        emit(
+            "DS150",
+            f"demoting memory with more than 50% access frequency to the "
+            f"slow tier will thrash (min_freq is {p.min_freq:.0%})",
         )
 
     # DS140 / DS141 — quota sanity.

@@ -27,7 +27,7 @@ from ..schemes.parser import parse_schemes
 from ..sim.clock import EventQueue
 from ..sim.costs import CostModel
 from ..sim.kernel import SimKernel
-from ..sim.machine import MachineSpec, get_instance, guest_of
+from ..sim.machine import MachineSpec, TierSpec, get_instance, guest_of, scaled_tier
 from ..sim.swap import FileSwapDevice, NoSwapDevice, ZramDevice
 from ..sim.thp import ThpPolicy
 from ..trace.bus import TraceBus
@@ -150,20 +150,45 @@ class MachineBuild:
     guest: object  # GuestSpec
     swap: object  # SwapDevice
     swap_kind: str
+    #: Tier placement policy for the guest kernel when the machine has a
+    #: slow tier: ``"managed"`` (demote-before-swap plus migrations) or
+    #: ``"unmanaged"`` (faults spill into the slow tier, nothing moves).
+    tier_policy: str = "managed"
 
 
 def build_machine(
-    machine: Union[str, MachineSpec] = "i3.metal", *, swap: str = "zram"
+    machine: Union[str, MachineSpec] = "i3.metal",
+    *,
+    swap: str = "zram",
+    tier: Union[str, TierSpec, None] = None,
+    tier_scale: float = 1.0,
+    tier_policy: str = "managed",
 ) -> MachineBuild:
     """Resolve a machine name (or ready spec) into host, guest and swap.
 
     This is the machine half of the construction :func:`run_experiment`
     used to do inline; the fleet scheduler calls it too, so both paths
     agree on guest sizing and swap-device calibration.
+
+    ``tier`` attaches a slow memory tier (NVM/CXL) to the guest: a
+    catalog name from :func:`~repro.sim.machine.tier_catalog` scaled by
+    ``tier_scale``, or a ready :class:`~repro.sim.machine.TierSpec`
+    (``tier_scale`` is then ignored — the spec is authoritative).
     """
+    if tier_policy not in ("managed", "unmanaged"):
+        raise ConfigError(
+            f"unknown tier_policy {tier_policy!r} (managed | unmanaged)"
+        )
     host = machine if isinstance(machine, MachineSpec) else get_instance(machine)
+    slow = None
+    if tier is not None:
+        slow = tier if isinstance(tier, TierSpec) else scaled_tier(tier, capacity_scale=tier_scale)
     return MachineBuild(
-        host=host, guest=guest_of(host), swap=_build_swap(swap, host), swap_kind=swap
+        host=host,
+        guest=guest_of(host, slow_tier=slow),
+        swap=_build_swap(swap, host),
+        swap_kind=swap,
+        tier_policy=tier_policy,
     )
 
 
@@ -246,6 +271,10 @@ def build_tenant(
         # Attribute attachment, not a constructor kwarg: kernel_cls may
         # be the frozen legacy oracle, whose signature must not change.
         kernel.sanitizer = sanitizer
+    if getattr(machine.guest, "slow_tier", None) is not None:
+        # Same attribute discipline as the sanitizer: the tier policy
+        # rides on the build, not the kernel constructor signature.
+        kernel.tier_policy = machine.tier_policy
     work = Workload(spec, kernel, seed=seed + 1)
     work.setup()
 
@@ -334,6 +363,9 @@ class ExperimentRun:
         seed: int = 0,
         time_scale: float = 1.0,
         swap: str = "zram",
+        tier: Union[str, TierSpec, None] = None,
+        tier_scale: float = 1.0,
+        tier_policy: str = "managed",
         attrs: Optional[MonitorAttrs] = None,
         costs: Optional[CostModel] = None,
         keep_snapshots: int = 0,
@@ -364,7 +396,9 @@ class ExperimentRun:
             sanitizer = SimSanitizer(enabled=True) if enabled else None
 
         # --- construction, via the shared factories ------------------------
-        mb = build_machine(machine, swap=swap)
+        mb = build_machine(
+            machine, swap=swap, tier=tier, tier_scale=tier_scale, tier_policy=tier_policy
+        )
         self.host, self.guest = mb.host, mb.guest
         self.tenant = build_tenant(
             spec,
@@ -503,6 +537,9 @@ def run_experiment(
     seed: int = 0,
     time_scale: float = 1.0,
     swap: str = "zram",
+    tier: Union[str, TierSpec, None] = None,
+    tier_scale: float = 1.0,
+    tier_policy: str = "managed",
     attrs: Optional[MonitorAttrs] = None,
     costs: Optional[CostModel] = None,
     keep_snapshots: int = 0,
@@ -521,6 +558,15 @@ def run_experiment(
     runs (scheme ages and pattern periods are *not* scaled — they are
     what is being measured).  ``keep_snapshots`` > 0 retains up to that
     many aggregation snapshots for heatmap rendering.
+
+    ``tier`` gives the guest a slow memory tier (a catalog name such as
+    ``"optane-pmm"`` or ``"cxl-dram"``, capacity-scaled by
+    ``tier_scale``, or a ready :class:`~repro.sim.machine.TierSpec`).
+    Under ``tier_policy="managed"`` (the default) reclaim demotes to the
+    slow tier before swapping and the ``migrate_hot``/``migrate_cold``
+    scheme actions move pages between tiers; ``"unmanaged"`` lets page
+    faults spill into the slow tier and never migrates — the baseline a
+    tiering scheme is measured against.
 
     ``trace`` supplies an external bus (its subscribers see every event;
     its clock is bound to the run's); when ``None`` an internal, ring-less
@@ -564,6 +610,9 @@ def run_experiment(
         seed=seed,
         time_scale=time_scale,
         swap=swap,
+        tier=tier,
+        tier_scale=tier_scale,
+        tier_policy=tier_policy,
         attrs=attrs,
         costs=costs,
         keep_snapshots=keep_snapshots,

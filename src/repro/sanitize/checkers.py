@@ -35,6 +35,7 @@ __all__ = [
     "digest_region_state",
     "check_fleet_state",
     "check_frame_conservation",
+    "check_tier_placement",
     "check_present_swapped",
     "check_counter_coherence",
     "check_huge_residency",
@@ -117,13 +118,17 @@ def check_frame_conservation(kernel: Any, now: int) -> List[Violation]:
     """
     out: List[Violation] = []
     frames = kernel.frames
-    if frames.allocated + frames.free_frames() != frames.n_frames:
+    # On a tiered FrameTable the free count splits across pools; the
+    # getattr keeps the frozen legacy FrameTable (fast pool only, no
+    # free_slow_frames) checkable under the same equation.
+    free_slow = getattr(frames, "free_slow_frames", lambda: 0)()
+    if frames.allocated + frames.free_frames() + free_slow != frames.n_frames:
         out.append(
             _kernel_violation(
                 kernel,
                 "frame_conservation",
-                f"allocated ({frames.allocated}) + free ({frames.free_frames()}) "
-                f"!= total frames ({frames.n_frames})",
+                f"allocated ({frames.allocated}) + free ({frames.free_frames()}"
+                f" fast + {free_slow} slow) != total frames ({frames.n_frames})",
                 now,
             )
         )
@@ -191,6 +196,66 @@ def check_frame_conservation(kernel: Any, now: int) -> List[Violation]:
                         now,
                     )
                 )
+    return out
+
+
+def check_tier_placement(kernel: Any, now: int) -> List[Violation]:
+    """Tier occupancy is conserved and no page sits in two tiers.
+
+    * a present page's ``tier`` column agrees with the tier of the frame
+      that backs it (frame numbers encode tier: slow frames live at
+      ``[n_fast_frames, n_frames)``);
+    * non-present pages carry no tier mark (``tier == 0``);
+    * the page tables' slow-resident count equals the frame allocator's
+      ``allocated_slow`` counter.
+
+    A legacy flat :class:`FrameTable` (no tier split) passes trivially:
+    every frame is fast and every ``tier`` entry stays 0.
+    """
+    out: List[Violation] = []
+    frames = kernel.frames
+    flat = kernel.space.flat
+    frame_tier = getattr(frames, "tier", None)
+    if frame_tier is None:
+        return out
+
+    framed = flat.present & (flat.frame >= 0)
+    if framed.any():
+        idx = np.flatnonzero(framed)
+        mismatch = flat.tier[idx] != frame_tier[flat.frame[idx]]
+        if mismatch.any():
+            out.append(
+                _kernel_violation(
+                    kernel,
+                    "tier_placement",
+                    f"{int(np.count_nonzero(mismatch))} present page(s) whose "
+                    "tier column disagrees with the backing frame's tier",
+                    now,
+                )
+            )
+    stray = ~flat.present & (flat.tier != 0)
+    if stray.any():
+        out.append(
+            _kernel_violation(
+                kernel,
+                "tier_placement",
+                f"{int(np.count_nonzero(stray))} non-present page(s) still "
+                "carry a slow-tier mark",
+                now,
+            )
+        )
+    slow_resident = int(np.count_nonzero(flat.present & (flat.tier != 0)))
+    allocated_slow = int(getattr(frames, "allocated_slow", 0))
+    if slow_resident != allocated_slow:
+        out.append(
+            _kernel_violation(
+                kernel,
+                "tier_placement",
+                f"{slow_resident} slow-resident page(s) in the page tables vs "
+                f"allocated_slow == {allocated_slow}",
+                now,
+            )
+        )
     return out
 
 

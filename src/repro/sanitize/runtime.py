@@ -36,6 +36,7 @@ from .checkers import (
     check_present_swapped,
     check_quota_sanity,
     check_region_state,
+    check_tier_placement,
 )
 
 __all__ = ["SimSanitizer", "default_enabled", "set_default_enabled"]
@@ -132,6 +133,7 @@ class SimSanitizer:
         found += check_present_swapped(kernel, now)
         found += check_counter_coherence(kernel, now)
         found += check_huge_residency(kernel, now)
+        found += check_tier_placement(kernel, now)
         if self._engine is not None and not self._subscribed:
             found += check_quota_sanity(self._engine, now)
         epoch = self.epochs_checked
@@ -175,6 +177,7 @@ class SimSanitizer:
             found += check_present_swapped(kernel, now)
             found += check_counter_coherence(kernel, now)
             found += check_huge_residency(kernel, now)
+            found += check_tier_placement(kernel, now)
         if monitor is not None:
             found += check_region_state(monitor, now)
         if engine is not None:

@@ -12,11 +12,16 @@ STAT           Only count regions fulfilling the conditions (for working-set
                estimation and scheme tuning).
 LRU_PRIO       Move the region to the head of the active LRU list.
 LRU_DEPRIO     Move the region to the tail of the inactive LRU list.
+MIGRATE_HOT    Migrate the region up into the fast memory tier (DRAM).
+MIGRATE_COLD   Migrate the region down into the slow memory tier.
 =============  ==============================================================
 
 LRU_PRIO and LRU_DEPRIO are the "more actions in the future" the paper
 announces (Table 1's closing sentence); they shipped upstream as the
-DAMON_LRU_SORT module's primitives.
+DAMON_LRU_SORT module's primitives.  MIGRATE_HOT and MIGRATE_COLD are
+the access-aware tiering pair that followed (upstream's
+damos_migrate_pages, the Memos/KLOC direction): region heat decides
+which tier backs a region's frames.  On a flat machine both are no-ops.
 """
 
 from __future__ import annotations
@@ -41,6 +46,8 @@ class Action(enum.Enum):
     STAT = "stat"
     LRU_PRIO = "lru_prio"
     LRU_DEPRIO = "lru_deprio"
+    MIGRATE_HOT = "migrate_hot"
+    MIGRATE_COLD = "migrate_cold"
 
     @classmethod
     def parse(cls, token: str) -> "Action":
@@ -58,6 +65,8 @@ class Action(enum.Enum):
             "stat": cls.STAT,
             "lruprio": cls.LRU_PRIO,
             "lrudeprio": cls.LRU_DEPRIO,
+            "migratehot": cls.MIGRATE_HOT,
+            "migratecold": cls.MIGRATE_COLD,
         }
         try:
             return aliases[normalized]
@@ -116,4 +125,8 @@ def apply_action(
         return kernel.lru_prioritize(start, end, now) * PAGE_SIZE
     if action is Action.LRU_DEPRIO:
         return kernel.lru_deprioritize(start, end, now) * PAGE_SIZE
+    if action is Action.MIGRATE_HOT:
+        return kernel.migrate_hot(start, end, now) * PAGE_SIZE
+    if action is Action.MIGRATE_COLD:
+        return kernel.migrate_cold(start, end, now) * PAGE_SIZE
     raise SchemeError(f"unhandled action {action!r}")

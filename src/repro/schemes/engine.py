@@ -31,7 +31,13 @@ __all__ = ["SchemesEngine"]
 #: Actions that target cold memory; quota prioritisation inverts the
 #: frequency score for these.
 _COLD_ACTIONS = frozenset(
-    {Action.PAGEOUT, Action.COLD, Action.NOHUGEPAGE, Action.LRU_DEPRIO}
+    {
+        Action.PAGEOUT,
+        Action.COLD,
+        Action.NOHUGEPAGE,
+        Action.LRU_DEPRIO,
+        Action.MIGRATE_COLD,
+    }
 )
 
 
@@ -79,7 +85,13 @@ class SchemesEngine:
         tr = self.trace
         for scheme_index, scheme in enumerate(self.schemes):
             if scheme.watermarks is not None:
-                free_ratio = self.kernel.frames.free_frames() / self.kernel.frames.n_frames
+                # Watermarks judge DRAM pressure: on a tiered machine the
+                # ratio is over the fast pool (slow frames neither count
+                # as free nor enlarge the denominator).  getattr keeps
+                # the frozen legacy FrameTable — no tier split — working.
+                frames = self.kernel.frames
+                pool = getattr(frames, "n_fast_frames", frames.n_frames)
+                free_ratio = frames.free_frames() / pool
                 was_active = scheme.watermarks.active
                 now_active = scheme.watermarks.update(free_ratio)
                 if tr is not None and now_active != was_active:

@@ -113,6 +113,27 @@ class CostModel:
         huge = touches * huge_fraction * self.dram_cost_us * (1.0 - discount)
         return normal + huge
 
+    def tier_touch_cost_us(self, touches: float, latency_ratio: float) -> float:
+        """Extra memory-stall time for ``touches`` counted touches served
+        from a slow tier whose load-to-use latency is ``latency_ratio``
+        times DRAM's.
+
+        Charged *on top of* :meth:`touch_cost_us` (which already billed
+        the DRAM share), so a ratio of 1.0 — a tier as fast as DRAM —
+        adds nothing and a flat machine never calls this.
+        """
+        if latency_ratio < 0:
+            raise ConfigError(f"latency_ratio cannot be negative: {latency_ratio}")
+        return touches * self.dram_cost_us * max(0.0, latency_ratio - 1.0)
+
+    def tier_migration_cost_us(self, n_pages: int, page_us: float) -> float:
+        """Device-side cost of moving ``n_pages`` across the tier
+        boundary at ``page_us`` per 4 KiB page (the tier's ``read_us``
+        for promotion, ``write_us`` for demotion)."""
+        if page_us < 0:
+            raise ConfigError(f"page_us cannot be negative: {page_us}")
+        return n_pages * page_us
+
     def minor_fault_cost_us(self, n: int) -> float:
         """Allocation + zeroing cost of ``n`` first-touch faults."""
         return n * self.minor_fault_us

@@ -52,6 +52,7 @@ _PAGE_COLUMNS = (
     "frame",
     "bloat",
     "lru_gen",
+    "tier",
 )
 
 _CHUNK_COLUMNS = ("chunk_huge", "chunk_promoted_at")
@@ -79,6 +80,7 @@ class FlatPageTable:
         "frame",
         "bloat",
         "lru_gen",
+        "tier",
         "chunk_huge",
         "chunk_promoted_at",
         "_chunk_rates",

@@ -33,6 +33,7 @@ from ..trace.events import (
     PageoutBatch,
     ReclaimPass,
     ThpPromotion,
+    TierMigration,
 )
 from .costs import CostModel
 from .lru import LruReclaimer
@@ -112,8 +113,16 @@ class SimKernel:
         if not isinstance(guest, GuestSpec):
             raise ConfigError(f"expected GuestSpec or MachineSpec, got {guest!r}")
         self.guest = guest
+        #: Slow memory tier (:class:`~repro.sim.machine.TierSpec`) or
+        #: None on a flat machine.  Ships on the guest spec, not as a
+        #: constructor keyword, so the frozen legacy oracle — which
+        #: shares this signature — needs no change.
+        self.tier = getattr(guest, "slow_tier", None)
         self.space = AddressSpace(name="workload")
-        self.frames = FrameTable(guest.dram_bytes)
+        self.frames = FrameTable(
+            guest.dram_bytes,
+            self.tier.capacity_bytes if self.tier is not None else 0,
+        )
         self.swap = swap if swap is not None else ZramDevice()
         self.costs = costs if costs is not None else CostModel()
         self.thp_policy = thp if thp is not None else ThpPolicy(mode="never")
@@ -139,6 +148,20 @@ class SimKernel:
         #: Reclaim thresholds; the fleet scheduler assigns its shared
         #: fleet-wide instance here (same post-construction pattern).
         self.watermarks = Watermarks()
+        #: Tier placement policy: ``"managed"`` routes reclaim to
+        #: demotion and serves MIGRATE_HOT / MIGRATE_COLD; ``"unmanaged"``
+        #: treats DRAM + slow tier as one big pool — faults spill to the
+        #: slow tier when DRAM fills and nothing ever migrates (the
+        #: Memos-style baseline the placement bench compares against).
+        #: Assigned post-construction, like ``watermarks``.
+        self.tier_policy = "managed"
+        # Slow-tier load-to-use latency relative to DRAM; feeds the
+        # per-touch stall surcharge for slow-resident pages.
+        self._tier_latency_ratio = (
+            self.tier.access_latency_ns / guest.host.dram_latency_ns
+            if self.tier is not None
+            else 1.0
+        )
         #: ``"raise"`` aborts with :class:`SwapFullError` when an
         #: allocation cannot be backed; ``"shed"`` grants what fits,
         #: reverts the rest of the batch, and enters degraded mode.
@@ -272,10 +295,7 @@ class SimKernel:
                     major if major.size else minor
                 )
                 if alloc_for.size:
-                    new_frames = self.frames.allocate(
-                        alloc_for.size, self._vma_id(vma), alloc_for
-                    )
-                    pt.frame[alloc_for] = new_frames
+                    self._allocate_mapped(vma, alloc_for)
             if major.size:
                 latency = self.swap.load(major.size)
                 latency += self.costs.major_fault_overhead_us(major.size)
@@ -302,6 +322,18 @@ class SimKernel:
                 self.metrics.runtime.memory_stall_us += self.costs.touch_cost_us(
                     total_touches, huge_fraction, tlb_scale
                 )
+                if self.tier is not None:
+                    # Touches served by the slow tier pay the extra
+                    # load-to-use latency on top of the DRAM share
+                    # already charged above.  (Shed pages are tier 0, so
+                    # they never land here.)
+                    n_slow = int(np.count_nonzero(pt.tier[touched]))
+                    if n_slow:
+                        self.metrics.runtime.memory_stall_us += (
+                            self.costs.tier_touch_cost_us(
+                                n_slow * stall_weight, self._tier_latency_ratio
+                            )
+                        )
             pt.add_rate(lo, hi, rate, stride)
             if write_fraction > 0.0:
                 pt.add_write_rate(lo, hi, rate * write_fraction, stride)
@@ -354,19 +386,50 @@ class SimKernel:
             return 0
         return self.swap.free_pages()
 
-    def _free_after_reclaim(self, needed: int, now: int) -> int:
-        """Free frames after (at most) one alloc-triggered reclaim pass."""
+    @property
+    def _tier_spill(self) -> bool:
+        """Whether faults may land in the slow tier (unmanaged policy)."""
+        return self.tier is not None and self.tier_policy == "unmanaged"
+
+    def _allocatable(self) -> int:
+        """Frames an allocation batch could be backed by right now:
+        free DRAM, plus the slow tier's free frames when the unmanaged
+        policy lets faults spill there."""
         free = self.frames.free_frames()
+        if self._tier_spill:
+            free += self.frames.free_slow_frames()
+        return free
+
+    def _allocate_mapped(self, vma, idx: np.ndarray) -> None:
+        """Back pages ``idx`` of ``vma`` with frames: DRAM first, with the
+        unmanaged-tier overflow spilling to slow frames.  Sets the page
+        table's ``frame`` and ``tier`` columns.  The caller guarantees
+        ``idx.size <= _allocatable()`` (via ``_ensure_frames`` or shed)."""
+        pt = vma.pages
+        vid = self._vma_id(vma)
+        n = int(idx.size)
+        n_fast = min(n, self.frames.free_frames()) if self._tier_spill else n
+        if n_fast:
+            part = idx[:n_fast]
+            pt.frame[part] = self.frames.allocate(n_fast, vid, part)
+        if n_fast < n:
+            part = idx[n_fast:]
+            pt.frame[part] = self.frames.allocate_slow(n - n_fast, vid, part)
+            pt.tier[part] = 1
+
+    def _free_after_reclaim(self, needed: int, now: int) -> int:
+        """Allocatable frames after (at most) one alloc-triggered reclaim pass."""
+        free = self._allocatable()
         if free >= needed:
             return free
         self._reclaim(needed - free, "alloc", now)
-        return self.frames.free_frames()
+        return self._allocatable()
 
     def _ensure_frames(self, needed: int, now: int) -> None:
         if self._free_after_reclaim(needed, now) < needed:
             raise SwapFullError(
                 "OOM: reclaim could not free enough frames "
-                f"(need {needed}, free {self.frames.free_frames()})"
+                f"(need {needed}, free {self._allocatable()})"
             )
 
     @staticmethod
@@ -398,7 +461,10 @@ class SimKernel:
         (checked once per epoch, so event volume stays bounded)."""
         if not self._degraded_reason and not self._oom_reclaim_failed:
             return
-        if self._swap_free_pages(now) <= 0:
+        room = self._swap_free_pages(now)
+        if self.tier is not None and self.tier_policy == "managed":
+            room += self.frames.free_slow_frames()
+        if room <= 0:
             return
         self._oom_reclaim_failed = False
         reason = self._degraded_reason
@@ -423,31 +489,66 @@ class SimKernel:
     def _pressure_reclaim(self, now: int) -> None:
         if self.oom_policy == "shed":
             self._maybe_recover(now)
-        allocated = self.frames.allocated
+        frames = self.frames
+        if self._tier_spill:
+            # Unmanaged: one big pool; pressure only exists once *both*
+            # tiers are nearly full (the kernel cannot tell them apart).
+            allocated = frames.allocated
+            pool = frames.n_frames
+        else:
+            # DRAM is the contended resource; slow-resident pages neither
+            # count against the watermark nor relieve it.  On a flat
+            # machine the fast pool IS the whole pool, so the arithmetic
+            # is unchanged.
+            allocated = frames.fast_allocated
+            pool = frames.n_fast_frames
         if self.faults is not None:
             # A transient pressure spike counts phantom frames as
             # allocated, forcing reclaim passes the workload alone would
             # not have triggered.
             allocated += self.faults.pressure_spike_frames(now)
-        high = self.watermarks.high_frames(self.frames.n_frames)
+        high = self.watermarks.high_frames(pool)
         if allocated <= high or self._oom_reclaim_failed:
             return
-        low = self.watermarks.low_frames(self.frames.n_frames)
+        low = self.watermarks.low_frames(pool)
         self._reclaim(allocated - low, "pressure", now)
 
     def _reclaim(self, n_pages: int, trigger: str, now: int) -> None:
-        """Evict up to ``n_pages`` LRU-cold pages to swap.  ``trigger``
-        records why the pass ran (``"alloc"`` or ``"pressure"``)."""
-        budget = min(n_pages, self._swap_free_pages(now))
+        """Free up to ``n_pages`` LRU-cold DRAM pages.  With a managed
+        slow tier, cold pages are *demoted* (migrated down, staying
+        resident) while the tier has room; only the overflow is evicted
+        to swap.  ``trigger`` records why the pass ran (``"alloc"`` or
+        ``"pressure"``)."""
+        tier = self.tier
+        demote = tier is not None and self.tier_policy == "managed"
+        demote_room = self.frames.free_slow_frames() if demote else 0
+        budget = min(n_pages, demote_room + self._swap_free_pages(now))
         if budget <= 0:
             self._oom_reclaim_failed = True
             if self.oom_policy == "shed":
                 self._enter_degraded("swap-full", now)
             return
-        victims = self.lru.select_victims(budget, rng=self.rng)
-        evicted = written_back = 0
+        # Managed tiering never victimises slow-resident pages: DRAM
+        # pressure is relieved by moving DRAM pages down, and the slow
+        # tier drains through swap only when it is itself the overflow
+        # path (the demotion loop below fills it first).
+        victims = self.lru.select_victims(budget, rng=self.rng, fast_only=demote)
+        demoted = evicted = written_back = 0
         for vma, idx in victims:
             pt = vma.pages
+            if demote_room:
+                take = min(demote_room, int(idx.size))
+                dem = idx[:take]
+                self.frames.release(pt.frame[dem])
+                pt.frame[dem] = self.frames.allocate_slow(
+                    take, self._vma_id(vma), dem
+                )
+                pt.tier[dem] = 1
+                demote_room -= take
+                demoted += take
+                idx = idx[take:]
+            if idx.size == 0:
+                continue
             frames, n_dirty = pt.evict_pages(idx)
             self.frames.release(frames)
             # Swap latency is settled per VMA group: the device rounds
@@ -461,6 +562,26 @@ class SimKernel:
             evicted += int(idx.size)
             written_back += n_dirty
         tr = self.trace
+        if demoted:
+            self.metrics.pages_demoted += demoted
+            # Demotion writes are kswapd-style background migration; only
+            # the async share surfaces in the workload's runtime.
+            self.metrics.runtime.tier_migration_us += (
+                self.costs.tier_migration_cost_us(demoted, tier.write_us)
+                * _ASYNC_WRITE_SHARE
+            )
+            if tr is not None:
+                if tr.wants(TierMigration):
+                    tr.emit(
+                        TierMigration(
+                            time_us=tr.now,
+                            direction="demote",
+                            pages=demoted,
+                            trigger=trigger,
+                        )
+                    )
+                else:
+                    tr.count(TierMigration)
         if tr is not None:
             if tr.wants(ReclaimPass):
                 tr.emit(
@@ -501,6 +622,7 @@ class SimKernel:
             frames = pt.frame[candidates]
             self.frames.release(frames[frames >= 0])
             pt.frame[candidates] = -1
+            pt.tier[candidates] = 0
             n_dirty = int(np.count_nonzero(was_dirty[candidates - lo]))
             latency = self.swap.store(candidates.size, n_dirty)
             self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
@@ -544,8 +666,7 @@ class SimKernel:
                     continue
             else:
                 self._ensure_frames(idx.size, now)
-            new_frames = self.frames.allocate(idx.size, self._vma_id(vma), idx)
-            pt.frame[idx] = new_frames
+            self._allocate_mapped(vma, idx)
             latency = self.swap.load(idx.size)
             self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE
             self.metrics.pages_swapped_in += idx.size
@@ -654,10 +775,115 @@ class SimKernel:
             total += int(np.count_nonzero(present))
         return total
 
+    # -- tier migration (MIGRATE_HOT / MIGRATE_COLD back-ends) -----------
+    def _emit_tier_migration(self, direction: str, pages: int) -> None:
+        tr = self.trace
+        if tr is None:
+            return
+        if tr.wants(TierMigration):
+            tr.emit(
+                TierMigration(
+                    time_us=tr.now,
+                    direction=direction,
+                    pages=pages,
+                    trigger="scheme",
+                )
+            )
+        else:
+            tr.count(TierMigration)
+
+    def migrate_cold(self, start: int, end: int, now: int) -> int:
+        """MIGRATE_COLD: demote the range's DRAM-resident pages to the
+        slow tier, making DRAM headroom before pressure forces it.
+        Huge-mapped pages are skipped (a huge mapping cannot span tiers);
+        a flat machine — or a full slow tier — is a no-op.  Returns pages
+        demoted."""
+        tier = self.tier
+        if tier is None:
+            return 0
+        room = self.frames.free_slow_frames()
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            if room <= 0:
+                break
+            pt = vma.pages
+            movable = (
+                pt.present[lo:hi] & (pt.tier[lo:hi] == 0) & (pt.frame[lo:hi] >= 0)
+            )
+            idx = np.nonzero(movable)[0].astype(np.int64) + lo
+            if pt.chunk_huge.any():
+                idx = idx[~pt.huge_mask(idx)]
+            idx = idx[:room]
+            if idx.size == 0:
+                continue
+            self.frames.release(pt.frame[idx])
+            pt.frame[idx] = self.frames.allocate_slow(
+                idx.size, self._vma_id(vma), idx
+            )
+            pt.tier[idx] = 1
+            room -= int(idx.size)
+            total += int(idx.size)
+        if total:
+            self.metrics.pages_demoted += total
+            self.metrics.runtime.tier_migration_us += (
+                self.costs.tier_migration_cost_us(total, tier.write_us)
+                * _ASYNC_WRITE_SHARE
+            )
+            self._emit_tier_migration("demote", total)
+        return total
+
+    def migrate_hot(self, start: int, end: int, now: int) -> int:
+        """MIGRATE_HOT: promote the range's slow-resident pages into
+        DRAM.  Watermark-gated: promotion stops at the high watermark so
+        it never *creates* the pressure that would demote its own pages
+        right back (the thrash guard).  Returns pages promoted."""
+        tier = self.tier
+        if tier is None:
+            return 0
+        frames = self.frames
+        room = self.watermarks.high_frames(frames.n_fast_frames) - frames.fast_allocated
+        total = 0
+        for vma, lo, hi in self.space.ranges_in(start, end):
+            if room <= 0:
+                break
+            pt = vma.pages
+            idx = np.nonzero(pt.tier[lo:hi] != 0)[0].astype(np.int64) + lo
+            idx = idx[:room]
+            if idx.size == 0:
+                continue
+            self.frames.release(pt.frame[idx])
+            pt.frame[idx] = frames.allocate(idx.size, self._vma_id(vma), idx)
+            pt.tier[idx] = 0
+            room -= int(idx.size)
+            total += int(idx.size)
+        if total:
+            self.metrics.pages_promoted += total
+            self.metrics.runtime.tier_migration_us += (
+                self.costs.tier_migration_cost_us(total, tier.read_us)
+                * _ASYNC_WRITE_SHARE
+            )
+            self._emit_tier_migration("promote", total)
+        return total
+
     def _promote(self, vma, chunks: np.ndarray, now: int) -> int:
         """Promote the given chunks of ``vma``: allocate frames for the
         bloat pages, settle swap accounting, charge allocation latency."""
         pt = vma.pages
+        if chunks.size and self.tier is not None and self.tier_policy == "managed":
+            # A huge mapping must not span tiers under managed placement:
+            # chunks holding slow-resident pages stay 4 KiB-mapped until
+            # MIGRATE_HOT pulls them up.  (Unmanaged mode interleaves
+            # freely — there the hardware, not the kernel, owns placement.)
+            chunks = np.asarray(chunks, dtype=np.int64)
+            pages = (
+                chunks[:, None] * PAGES_PER_HUGE + np.arange(PAGES_PER_HUGE)
+            ).ravel()
+            has_slow = (
+                (pt.tier[pages] != 0).reshape(-1, PAGES_PER_HUGE).any(axis=1)
+            )
+            chunks = chunks[~has_slow]
+            if chunks.size == 0:
+                return 0
         if self.oom_policy == "shed" and chunks.size:
             # promote_chunks mutates page state irreversibly, so under
             # shed pre-check the worst case (every subpage materialised)
@@ -674,8 +900,7 @@ class SimKernel:
             return 0
         if new_idx.size:
             self._ensure_frames(new_idx.size, now)
-            frames = self.frames.allocate(new_idx.size, self._vma_id(vma), new_idx)
-            pt.frame[new_idx] = frames
+            self._allocate_mapped(vma, new_idx)
         if n_swapped:
             latency = self.swap.load(n_swapped)
             self.metrics.runtime.swapout_us += latency * _ASYNC_WRITE_SHARE

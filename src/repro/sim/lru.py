@@ -68,9 +68,19 @@ class LruReclaimer:
         return active, inactive
 
     def select_victims(
-        self, n_pages: int, rng: Optional[np.random.Generator] = None
+        self,
+        n_pages: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        fast_only: bool = False,
     ) -> List[Tuple[object, np.ndarray]]:
         """Pick ~``n_pages`` least-recently-touched present pages.
+
+        ``fast_only`` restricts candidates to DRAM-resident pages — the
+        tiered reclaim path uses it so pressure on DRAM never selects
+        pages already demoted to the slow tier.  The filter is applied
+        *before* the tie-break draw, so on a flat machine (all pages
+        tier 0) RNG consumption is unchanged whether or not it is set.
 
         The ordering is *approximate*, as in the real two-list LRU: the
         kernel only learns recency from periodic accessed-bit scans, so
@@ -110,10 +120,14 @@ class LruReclaimer:
             idx.sort()
             if flat.chunk_huge.any():
                 idx = idx[~flat.huge_page_mask(idx)]
+            if fast_only:
+                idx = idx[flat.tier[idx] == 0]
         else:
             # A page mid-fault (present but no frame assigned yet) is
             # locked by its faulting thread and cannot be reclaimed.
             evictable = flat.present & (flat.frame >= 0)
+            if fast_only:
+                evictable &= flat.tier == 0
             if flat.chunk_huge.any():
                 evictable &= ~flat.huge_page_mask()
             idx = np.nonzero(evictable)[0]

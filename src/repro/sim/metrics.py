@@ -30,6 +30,9 @@ class RuntimeBreakdown:
     swapout_us: float = 0.0
     thp_alloc_us: float = 0.0
     monitor_interference_us: float = 0.0
+    #: Device time of cross-tier page migrations (demotion writes and
+    #: promotion reads); zero on a flat machine.
+    tier_migration_us: float = 0.0
 
     def total_us(self) -> float:
         """The workload's virtual runtime: the sum of all components.
@@ -111,6 +114,10 @@ class KernelMetrics:
     thp_bloat_pages: int = 0
     thp_freed_pages: int = 0
     reclaim_evictions: int = 0
+    #: Pages moved DRAM → slow tier (reclaim demotion or MIGRATE_COLD).
+    pages_demoted: int = 0
+    #: Pages moved slow tier → DRAM (MIGRATE_HOT promotion).
+    pages_promoted: int = 0
     monitor_checks: int = 0
     monitor_cpu_us: float = 0.0
     #: Pages an allocation batch asked for but degraded mode could not

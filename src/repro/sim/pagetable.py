@@ -67,6 +67,10 @@ class PageTable:
     lru_gen : int8[n]
         LRU placement class (-1 deprioritised / 0 normal / +1 protected)
         set by the LRU_PRIO / LRU_DEPRIO actions.
+    tier : int8[n]
+        Memory tier of a present page's frame: 0 = DRAM, 1 = slow tier.
+        Always 0 for non-present pages (tier is a property of the frame,
+        and a page without a frame has none).
     chunk_huge : bool[n_chunks]
         The 2 MiB chunk is mapped by a huge page.
     chunk_promoted_at : int64[n_chunks]
@@ -86,6 +90,7 @@ class PageTable:
         "frame",
         "bloat",
         "lru_gen",
+        "tier",
         "n_chunks",
         "chunk_huge",
         "chunk_promoted_at",
@@ -120,6 +125,9 @@ class PageTable:
         # 0 = normal, +1 = prioritised (active head).  Reclaim consumes
         # lower classes first; the LRU_PRIO/LRU_DEPRIO actions set it.
         self.lru_gen = np.zeros(n_pages, dtype=np.int8)
+        # Memory tier of the backing frame (0 = DRAM, 1 = slow tier);
+        # meaningful only while present, and kept 0 otherwise.
+        self.tier = np.zeros(n_pages, dtype=np.int8)
         # Only chunks fully inside the mapping can be huge-mapped (a huge
         # page needs a full, aligned 2 MiB of VMA); tail pages past the
         # last full chunk are never huge.
@@ -175,6 +183,7 @@ class PageTable:
         self.frame = flat.frame[page_sl]
         self.bloat = flat.bloat[page_sl]
         self.lru_gen = flat.lru_gen[page_sl]
+        self.tier = flat.tier[page_sl]
         self.chunk_huge = flat.chunk_huge[chunk_sl]
         self.chunk_promoted_at = flat.chunk_promoted_at[chunk_sl]
         self._chunk_rates = None
@@ -513,6 +522,7 @@ class PageTable:
         self.swapped[idx] = True
         self.dirty[idx] = False
         self.frame[idx] = -1
+        self.tier[idx] = 0
         if clear_bloat:
             self.bloat[idx] = False
         self.n_present -= int(idx.size)
@@ -527,10 +537,12 @@ class PageTable:
             self.swapped[drop_major] = True
             self.dirty[drop_major] = False
             self.frame[drop_major] = -1
+            self.tier[drop_major] = 0
         if drop_minor.size:
             self.present[drop_minor] = False
             self.dirty[drop_minor] = False
             self.frame[drop_minor] = -1
+            self.tier[drop_minor] = 0
         self.n_present -= int(drop_major.size + drop_minor.size)
         self.n_swapped += int(drop_major.size)
 
@@ -550,6 +562,7 @@ class PageTable:
         self.present[idx] = False
         self.swapped[idx] = True
         self.frame[idx] = -1
+        self.tier[idx] = 0
         self.n_present -= int(idx.size)
         self.n_swapped += int(idx.size)
 

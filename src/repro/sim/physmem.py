@@ -31,22 +31,46 @@ class FrameTable:
     and keeps the physical-address monitor's region picture contiguous.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int, slow_capacity_bytes: int = 0):
         if capacity_bytes < PAGE_SIZE:
             raise ConfigError(f"capacity below one page: {capacity_bytes}")
-        self.n_frames = capacity_bytes // PAGE_SIZE
+        if slow_capacity_bytes < 0:
+            raise ConfigError(
+                f"slow capacity cannot be negative: {slow_capacity_bytes}"
+            )
+        #: Fast (DRAM) frames occupy [0, n_fast_frames); slow-tier frames
+        #: occupy [n_fast_frames, n_frames).  The split by frame number
+        #: makes a frame's tier derivable without a lookup, but the
+        #: explicit ``tier`` column below keeps masked whole-table passes
+        #: one gather instead of a comparison per consumer.
+        self.n_fast_frames = capacity_bytes // PAGE_SIZE
+        self.n_slow_frames = slow_capacity_bytes // PAGE_SIZE
+        self.n_frames = self.n_fast_frames + self.n_slow_frames
+        #: Per-frame tier column: 0 = DRAM, 1 = slow tier.  Derived from
+        #: the frame-number split, so it is rebuilt (not pickled) on
+        #: checkpoint restore.
+        self.tier = np.zeros(self.n_frames, dtype=np.int8)
+        self.tier[self.n_fast_frames :] = 1
         # Owner arrays: index = frame number. -1 = free.
         self.owner_vma = np.full(self.n_frames, -1, dtype=np.int64)
         self.owner_page = np.full(self.n_frames, -1, dtype=np.int64)
-        # Never-allocated frames are [_next_fresh, n_frames); released
-        # frames sit in the recycled stack [0, _recycled_top).
+        # Never-allocated fast frames are [_next_fresh, n_fast_frames);
+        # released ones sit in the recycled stack [0, _recycled_top).
         self._next_fresh = 0
         # Zeroed, not np.empty: entries past _recycled_top are dead
         # storage, but they end up inside checkpoint payloads — garbage
         # there would make equal allocator states hash differently.
-        self._recycled = np.zeros(self.n_frames, dtype=np.int64)
+        self._recycled = np.zeros(self.n_fast_frames, dtype=np.int64)
         self._recycled_top = 0
+        # The slow pool mirrors the fast pool's stack discipline over
+        # [n_fast_frames, n_frames).
+        self._next_fresh_slow = self.n_fast_frames
+        self._recycled_slow = np.zeros(self.n_slow_frames, dtype=np.int64)
+        self._recycled_slow_top = 0
+        #: Total allocated frames across both tiers; the slow share is
+        #: ``allocated_slow`` and the fast share ``fast_allocated``.
         self.allocated = 0
+        self.allocated_slow = 0
         #: High-water mark, for reporting.
         self.peak_allocated = 0
 
@@ -68,31 +92,75 @@ class FrameTable:
         state["owner_vma"] = self.owner_vma[: self._next_fresh].copy()
         state["owner_page"] = self.owner_page[: self._next_fresh].copy()
         state["_recycled"] = self._recycled[: self._recycled_top].copy()
+        # Slow-pool live prefixes: owners of [n_fast_frames,
+        # _next_fresh_slow) plus the slow recycled stack.
+        state["_slow_owner_vma"] = self.owner_vma[
+            self.n_fast_frames : self._next_fresh_slow
+        ].copy()
+        state["_slow_owner_page"] = self.owner_page[
+            self.n_fast_frames : self._next_fresh_slow
+        ].copy()
+        state["_recycled_slow"] = self._recycled_slow[: self._recycled_slow_top].copy()
+        # Derived from the frame-number split; rebuilt on restore.
+        del state["tier"]
         return state
 
     def __setstate__(self, state):
+        empty = np.empty(0, dtype=np.int64)
+        slow_vma = state.pop("_slow_owner_vma", empty)
+        slow_page = state.pop("_slow_owner_page", empty)
+        # Pre-tier checkpoints carry neither the split nor the slow pool.
+        state.setdefault("n_fast_frames", state["n_frames"])
+        state.setdefault("n_slow_frames", 0)
+        state.setdefault("_next_fresh_slow", state["n_fast_frames"])
+        state.setdefault("_recycled_slow", empty)
+        state.setdefault("_recycled_slow_top", 0)
+        state.setdefault("allocated_slow", 0)
         self.__dict__.update(state)
         n = self.n_frames
         prefix = self.owner_vma
         self.owner_vma = np.full(n, -1, dtype=np.int64)
         self.owner_vma[: prefix.size] = prefix
+        self.owner_vma[self.n_fast_frames : self.n_fast_frames + slow_vma.size] = slow_vma
         prefix = self.owner_page
         self.owner_page = np.full(n, -1, dtype=np.int64)
         self.owner_page[: prefix.size] = prefix
+        self.owner_page[
+            self.n_fast_frames : self.n_fast_frames + slow_page.size
+        ] = slow_page
         prefix = self._recycled
-        self._recycled = np.zeros(n, dtype=np.int64)
+        self._recycled = np.zeros(self.n_fast_frames, dtype=np.int64)
         self._recycled[: prefix.size] = prefix
+        prefix = self._recycled_slow
+        self._recycled_slow = np.zeros(self.n_slow_frames, dtype=np.int64)
+        self._recycled_slow[: prefix.size] = prefix
+        self.tier = np.zeros(n, dtype=np.int8)
+        self.tier[self.n_fast_frames :] = 1
 
     # ------------------------------------------------------------------
+    @property
+    def fast_allocated(self) -> int:
+        """Allocated frames in the fast (DRAM) tier."""
+        return self.allocated - self.allocated_slow
+
     def free_frames(self) -> int:
-        """Unallocated frame count."""
-        return self.n_frames - self.allocated
+        """Unallocated *fast* frame count — the allocation-eligible pool.
+
+        Faults always land in DRAM; the slow tier is reached only by
+        explicit demotion, so for watermark and OOM purposes "free" means
+        free DRAM.  On a flat machine this is the whole capacity.
+        """
+        return self.n_fast_frames - self.fast_allocated
+
+    def free_slow_frames(self) -> int:
+        """Unallocated slow-tier frame count (0 on a flat machine)."""
+        return self.n_slow_frames - self.allocated_slow
 
     def allocate(self, count: int, vma_id: int, page_idx: np.ndarray) -> np.ndarray:
-        """Allocate ``count`` frames owned by pages ``page_idx`` of VMA
-        ``vma_id``.  Raises :class:`AddressSpaceError` when physical
-        memory is exhausted — the kernel façade triggers reclaim before
-        letting that happen."""
+        """Allocate ``count`` fast frames owned by pages ``page_idx`` of
+        VMA ``vma_id``.  Raises :class:`AddressSpaceError` when DRAM is
+        exhausted — the kernel façade triggers reclaim before letting
+        that happen."""
         if count == 0:
             return np.empty(0, dtype=np.int64)
         if count > self.free_frames():
@@ -119,8 +187,44 @@ class FrameTable:
         self.peak_allocated = max(self.peak_allocated, self.allocated)
         return frames
 
+    def allocate_slow(self, count: int, vma_id: int, page_idx: np.ndarray) -> np.ndarray:
+        """Allocate ``count`` slow-tier frames (demotion target).  Raises
+        :class:`AddressSpaceError` when the slow tier is exhausted — the
+        reclaim path sizes its demotion budget by ``free_slow_frames``
+        before calling."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if count > self.free_slow_frames():
+            raise AddressSpaceError(
+                f"out of slow-tier memory: need {count}, free {self.free_slow_frames()}"
+            )
+        from_recycled = min(count, self._recycled_slow_top)
+        parts = []
+        if from_recycled:
+            self._recycled_slow_top -= from_recycled
+            parts.append(
+                self._recycled_slow[
+                    self._recycled_slow_top : self._recycled_slow_top + from_recycled
+                ].copy()
+            )
+        fresh = count - from_recycled
+        if fresh:
+            parts.append(
+                np.arange(
+                    self._next_fresh_slow, self._next_fresh_slow + fresh, dtype=np.int64
+                )
+            )
+            self._next_fresh_slow += fresh
+        frames = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        self.owner_vma[frames] = vma_id
+        self.owner_page[frames] = np.asarray(page_idx, dtype=np.int64)
+        self.allocated += count
+        self.allocated_slow += count
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+        return frames
+
     def release(self, frames: np.ndarray) -> None:
-        """Return frames to the free list."""
+        """Return frames to their tier's free list."""
         frames = np.asarray(frames, dtype=np.int64)
         if frames.size == 0:
             return
@@ -128,10 +232,19 @@ class FrameTable:
             raise AddressSpaceError("double free of a physical frame")
         self.owner_vma[frames] = -1
         self.owner_page[frames] = -1
+        self.allocated -= frames.size
+        if self.n_slow_frames:
+            slow = frames >= self.n_fast_frames
+            n_slow = int(np.count_nonzero(slow))
+            if n_slow:
+                top = self._recycled_slow_top
+                self._recycled_slow[top : top + n_slow] = frames[slow]
+                self._recycled_slow_top = top + n_slow
+                self.allocated_slow -= n_slow
+                frames = frames[~slow]
         top = self._recycled_top
         self._recycled[top : top + frames.size] = frames
         self._recycled_top = top + frames.size
-        self.allocated -= frames.size
 
     # ------------------------------------------------------------------
     def owners(self, frames: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -146,11 +259,20 @@ class FrameTable:
 
         O(peak allocation), not O(capacity): fresh frames are only drawn
         past ``_next_fresh`` when the recycled stack is empty, so
-        ``[0, _next_fresh)`` minus the stack is exactly the live set.
+        ``[0, _next_fresh)`` minus the stack is exactly the fast live
+        set, and likewise for the slow pool.  Fast frame numbers all
+        precede slow ones, so concatenation stays ascending.
         """
         mask = np.ones(self._next_fresh, dtype=bool)
         mask[self._recycled[: self._recycled_top]] = False
-        return np.nonzero(mask)[0]
+        fast = np.nonzero(mask)[0]
+        if self._next_fresh_slow == self.n_fast_frames:
+            return fast
+        n_live = self._next_fresh_slow - self.n_fast_frames
+        mask = np.ones(n_live, dtype=bool)
+        mask[self._recycled_slow[: self._recycled_slow_top] - self.n_fast_frames] = False
+        slow = np.nonzero(mask)[0] + self.n_fast_frames
+        return np.concatenate([fast, slow])
 
     def rmap_groups(self, lo: int, hi: int):
         """Owned frames of ``[lo, hi)`` grouped by owning VMA.

@@ -33,6 +33,7 @@ __all__ = [
     "QuotaCharged",
     "WatermarkTransition",
     "ReclaimPass",
+    "TierMigration",
     "ThpPromotion",
     "PageoutBatch",
     "TuneStep",
@@ -176,6 +177,21 @@ class ReclaimPass(TraceEvent):
     written_back_pages: int
     #: What triggered the pass: ``"pressure"`` (high watermark crossed at
     #: epoch end) or ``"alloc"`` (a fault needed frames immediately).
+    trigger: str
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class TierMigration(TraceEvent):
+    """Pages crossed the DRAM / slow-tier boundary in one batch."""
+
+    #: ``"demote"`` (DRAM → slow) or ``"promote"`` (slow → DRAM).
+    direction: str
+    #: Pages migrated in the batch.
+    pages: int
+    #: What drove it: a reclaim pass's trigger (``"pressure"`` /
+    #: ``"alloc"`` — demotion-before-swap) or ``"scheme"``
+    #: (MIGRATE_HOT / MIGRATE_COLD).
     trigger: str
 
 

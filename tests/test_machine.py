@@ -1,15 +1,22 @@
-"""Machine catalog — paper Table 2."""
+"""Machine catalog — paper Table 2 — and the slow-tier catalog."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.errors import ConfigError
 from repro.sim.machine import (
+    GuestSpec,
     MachineSpec,
+    TierSpec,
     get_instance,
+    get_tier,
     guest_of,
     instance_catalog,
     scaled_instance,
+    scaled_tier,
+    tier_catalog,
 )
+from repro.sim.pagetable import PAGE_SIZE
 from repro.units import GIB
 
 
@@ -90,3 +97,108 @@ class TestSpecs:
     def test_scaled_instance_rejects_zero(self):
         with pytest.raises(ConfigError):
             scaled_instance("i3.metal", dram_scale=0)
+
+    def test_invalid_guest_vcpus_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestSpec(host=get_instance("i3.metal"), vcpus=0, dram_bytes=GIB)
+
+    def test_invalid_guest_dram_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestSpec(host=get_instance("i3.metal"), vcpus=4, dram_bytes=0)
+
+
+class TestTierCatalog:
+    """The slow-tier catalog: published NVM/CXL device numbers."""
+
+    def test_optane_pmm(self):
+        tier = get_tier("optane-pmm")
+        assert tier.capacity_bytes == 512 * GIB
+        assert tier.access_latency_ns == 305.0
+        assert tier.write_us > tier.read_us  # Optane's write asymmetry
+
+    def test_cxl_dram(self):
+        tier = get_tier("cxl-dram")
+        assert tier.capacity_bytes == 256 * GIB
+        assert tier.access_latency_ns == 210.0
+
+    def test_catalog_names(self):
+        assert sorted(tier_catalog()) == ["cxl-dram", "optane-pmm"]
+
+    def test_catalog_copy_is_safe(self):
+        catalog = tier_catalog()
+        catalog["fake"] = None
+        assert "fake" not in tier_catalog()
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError):
+            get_tier("hbm")
+
+    def test_n_frames(self):
+        assert get_tier("cxl-dram").n_frames == 256 * GIB // PAGE_SIZE
+
+    def test_sub_page_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            TierSpec(
+                name="bad",
+                capacity_bytes=PAGE_SIZE - 1,
+                access_latency_ns=200.0,
+                read_us=0.3,
+                write_us=0.3,
+            )
+
+    @pytest.mark.parametrize(
+        "field", ["access_latency_ns", "read_us", "write_us"]
+    )
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_latency_rejected(self, field, bad):
+        kwargs = dict(
+            name="bad",
+            capacity_bytes=GIB,
+            access_latency_ns=200.0,
+            read_us=0.3,
+            write_us=0.3,
+        )
+        kwargs[field] = bad
+        with pytest.raises(ConfigError):
+            TierSpec(**kwargs)
+
+    def test_scaled_tier(self):
+        tier = scaled_tier("cxl-dram", capacity_scale=0.5)
+        assert tier.capacity_bytes == 128 * GIB
+        assert tier.access_latency_ns == 210.0
+
+    def test_scaled_tier_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            scaled_tier("cxl-dram", capacity_scale=0)
+
+    def test_guest_carries_tier(self):
+        tier = get_tier("optane-pmm")
+        guest = guest_of(get_instance("i3.metal"), slow_tier=tier)
+        assert guest.slow_tier is tier
+        assert guest_of(get_instance("i3.metal")).slow_tier is None
+
+
+class TestPageAlignment:
+    """Every spec factory floors byte sizes to whole 4 KiB pages."""
+
+    @given(scale=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+    def test_scaled_instance_page_aligned(self, scale):
+        spec = scaled_instance("m5d.metal", dram_scale=scale)
+        assert spec.dram_bytes % PAGE_SIZE == 0
+        assert spec.dram_bytes >= PAGE_SIZE
+
+    @given(scale=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+    def test_scaled_tier_page_aligned(self, scale):
+        tier = scaled_tier("optane-pmm", capacity_scale=scale)
+        assert tier.capacity_bytes % PAGE_SIZE == 0
+        assert tier.capacity_bytes >= PAGE_SIZE
+
+    @given(
+        name=st.sampled_from(["i3.metal", "m5d.metal", "z1d.metal"]),
+        scale=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    )
+    def test_guest_of_scaled_host_page_aligned(self, name, scale):
+        guest = guest_of(scaled_instance(name, dram_scale=scale))
+        assert guest.dram_bytes % PAGE_SIZE == 0
+        assert guest.dram_bytes >= PAGE_SIZE
+        assert guest.vcpus >= 1
